@@ -1,0 +1,44 @@
+"""Ablation: FabricSharp sliding-window size.
+
+DESIGN.md calls out the scheduler window as a design choice: a larger
+window catches more doomed transactions early (fewer wasted validations)
+but risks more false aborts.  This bench sweeps the window and reports the
+early-abort / MVCC trade-off on an update-heavy workload.
+"""
+
+from repro.bench.experiments import synthetic_spec
+from repro.fabric import run_workload
+from repro.fabric.transaction import TxStatus
+from repro.workloads import synthetic_workload
+
+
+def _run_sweep():
+    rows = []
+    for window in (1, 3, 5, 10, 20):
+        spec = synthetic_spec("workload_update_heavy")
+        spec.scheduler = "fabricsharp"
+        config, deployment, requests = synthetic_workload(spec)
+        config.scheduler_window = window
+        network, result = run_workload(config, deployment.contracts, requests)
+        rows.append(
+            (
+                window,
+                result.early_aborts,
+                result.failure_counts.get(TxStatus.MVCC_CONFLICT.value, 0),
+                result.success_rate,
+            )
+        )
+    return rows
+
+
+def test_ablation_scheduler_window(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'window':>6} {'early_aborts':>12} {'mvcc_fails':>10} {'success%':>9}")
+    for window, aborts, mvcc, success in rows:
+        print(f"{window:>6} {aborts:>12} {mvcc:>10} {success * 100:>9.1f}")
+    # Early aborts replace late MVCC failures as the window grows.
+    aborts_by_window = {w: a for w, a, _, _ in rows}
+    mvcc_by_window = {w: m for w, _, m, _ in rows}
+    assert aborts_by_window[20] >= aborts_by_window[1]
+    assert mvcc_by_window[20] <= mvcc_by_window[1]

@@ -1,0 +1,56 @@
+"""Ablation: detection-threshold sensitivity.
+
+The paper stresses that every rule's threshold is user-configurable.  This
+bench sweeps the two most influential ones on the default synthetic
+workload — the reorderable-MVCC share (Section 6.1.5's 40%) and the
+rate-control failure fraction (Rt2) — and reports how the recommendation
+set reacts, demonstrating monotone detection behaviour.
+"""
+
+from repro.bench.experiments import make_synthetic
+from repro.core import BlockOptR, OptimizationKind as K
+from repro.core.thresholds import Thresholds
+from repro.fabric import run_workload
+
+
+def _run():
+    config, family, requests = make_synthetic("default")()
+    deployment = family.deploy()
+    network, _ = run_workload(config, deployment.contracts, requests)
+
+    reorder_hits = []
+    for share in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+        report = BlockOptR(Thresholds(reorderable_mvcc_share=share)).analyze_network(network)
+        reorder_hits.append((share, report.recommends(K.ACTIVITY_REORDERING)))
+
+    rate_hits = []
+    for fraction in (0.02, 0.1, 0.3, 0.6, 0.9):
+        report = BlockOptR(Thresholds(failure_fraction=fraction)).analyze_network(network)
+        rate_hits.append((fraction, report.recommends(K.TRANSACTION_RATE_CONTROL)))
+    return reorder_hits, rate_hits
+
+
+def test_ablation_thresholds(benchmark):
+    reorder_hits, rate_hits = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print("reorderable_mvcc_share ->", reorder_hits)
+    print("failure_fraction       ->", rate_hits)
+
+    # Monotone: once a threshold is too strict, it stays too strict.
+    seen_false = False
+    for _, fired in reorder_hits:
+        if not fired:
+            seen_false = True
+        else:
+            assert not seen_false, "reordering detection must be monotone in the share"
+    seen_false = False
+    for _, fired in rate_hits:
+        if not fired:
+            seen_false = True
+        else:
+            assert not seen_false, "rate-control detection must be monotone in Rt2"
+
+    # The loosest settings fire, the strictest do not.
+    assert reorder_hits[0][1]
+    assert not reorder_hits[-1][1]
+    assert rate_hits[0][1]

@@ -1,0 +1,36 @@
+"""Figure 7: endorser restructuring on P1 and P2 + endorser-dist-skew 6.
+
+Paper: changing the policy to OutOf(2, Org1..Org4) relieves the mandatory /
+skew-favoured endorsers — 29% (P1) and 26% (P2+skew) throughput gains.
+Shape checks: restructuring raises throughput and lowers latency.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG7_ENDORSER, make_synthetic
+from repro.core import OptimizationKind as K
+
+PLANS = [("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))]
+
+
+def _run_all():
+    outcomes = []
+    for experiment, paper in FIG7_ENDORSER.items():
+        outcomes.append(
+            execute_experiment(
+                f"Figure 7 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
+            )
+        )
+    return outcomes
+
+
+def test_fig07_endorser_restructuring(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for outcome in outcomes:
+        print()
+        print(format_paper_comparison(outcome))
+    for outcome in outcomes:
+        without = outcome.row("without")
+        restructured = outcome.row("endorser restructuring")
+        assert restructured.throughput > without.throughput
+        assert restructured.latency < without.latency
+        assert "endorser_restructuring" in outcome.recommendations

@@ -1,0 +1,56 @@
+"""Figure 9: block size adaptation.
+
+Paper: setting the block count to the derived transaction rate rescues the
+collapsed block-count-50 run (+93% throughput, +85% success) and mildly
+improves the high-send-rate runs.  Shape checks: large gains for the small
+block counts, non-degradation for the rate experiments.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG9_BLOCK_SIZE, make_synthetic
+from repro.core import OptimizationKind as K
+
+PLANS = [("block size adaptation", (K.BLOCK_SIZE_ADAPTATION,))]
+
+
+def _run_all():
+    return [
+        execute_experiment(
+            f"Figure 9 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
+        )
+        for experiment, paper in FIG9_BLOCK_SIZE.items()
+    ]
+
+
+def test_fig09_block_size(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    by_name = {}
+    for outcome in outcomes:
+        print()
+        print(format_paper_comparison(outcome))
+        by_name[outcome.name.split("/ ")[-1]] = outcome
+
+    # block count 50 collapses the orderer; adaptation rescues it.
+    collapsed = by_name["block_count_50"]
+    assert collapsed.row("block size adaptation").throughput > (
+        collapsed.row("without").throughput * 1.5
+    )
+    assert collapsed.row("block size adaptation").success_pct > (
+        collapsed.row("without").success_pct
+    )
+    # block count 100 is degraded (not collapsed) here; adaptation restores
+    # throughput without hurting success.
+    degraded = by_name["block_count_100"]
+    assert degraded.row("block size adaptation").throughput > (
+        degraded.row("without").throughput
+    )
+    assert degraded.row("block size adaptation").success_pct > (
+        degraded.row("without").success_pct - 2.0
+    )
+    for name in ("block_count_50", "block_count_100"):
+        assert "block_size_adaptation" in by_name[name].recommendations
+    for name in ("send_rate_1000", "send_rate_500_1000"):
+        outcome = by_name[name]
+        assert outcome.row("block size adaptation").success_pct >= (
+            outcome.row("without").success_pct * 0.9
+        )

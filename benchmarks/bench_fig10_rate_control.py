@@ -1,0 +1,40 @@
+"""Figure 10: transaction rate control across 11 synthetic configurations.
+
+Paper: capping the send rate at 100 TPS trades throughput for large latency
+and success-rate gains (up to 87% / 36%).  Shape checks per experiment:
+success rises, latency falls, throughput lands near the controlled rate.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG10_RATE_CONTROL, make_synthetic
+from repro.core import OptimizationKind as K
+
+PLANS = [("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))]
+
+
+def _run_all():
+    return [
+        execute_experiment(
+            f"Figure 10 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
+        )
+        for experiment, paper in FIG10_RATE_CONTROL.items()
+    ]
+
+
+def test_fig10_rate_control(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    improved_success = 0
+    improved_latency = 0
+    for outcome in outcomes:
+        print()
+        print(format_paper_comparison(outcome))
+        without = outcome.row("without")
+        controlled = outcome.row("transaction rate control")
+        if controlled.success_pct > without.success_pct:
+            improved_success += 1
+        if controlled.latency < without.latency:
+            improved_latency += 1
+        # Rate control throttles throughput toward the 100 TPS cap.
+        assert controlled.throughput <= max(without.throughput, 110.0)
+    assert improved_success >= len(outcomes) - 1
+    assert improved_latency >= len(outcomes) - 1

@@ -1,0 +1,30 @@
+"""Figure 13 (+ Section 3 claims): the supply-chain management use case.
+
+Paper: reordering (+24% tput / +15% success), pruning (+27% / +19%), rate
+control, and the combination all improve on the baseline.  Shape checks:
+each optimization improves success; reordering also improves throughput.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG13_SCM, make_usecase, usecase_plans
+
+
+def _run():
+    return execute_experiment(
+        "Figure 13 / SCM", make_usecase("scm"), usecase_plans("scm"), paper=FIG13_SCM
+    )
+
+
+def test_fig13_scm(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_paper_comparison(outcome))
+    without = outcome.row("without")
+    assert outcome.row("activity reordering").success_pct > without.success_pct
+    assert outcome.row("activity reordering").throughput > without.throughput
+    assert outcome.row("process model pruning").success_pct >= without.success_pct
+    assert outcome.row("transaction rate control").success_pct > without.success_pct
+    assert outcome.row("transaction rate control").latency < without.latency
+    assert outcome.row("all").success_pct > without.success_pct
+    assert "activity_reordering" in outcome.recommendations
+    assert "process_model_pruning" in outcome.recommendations

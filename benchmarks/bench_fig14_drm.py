@@ -1,0 +1,31 @@
+"""Figure 14: the digital rights management use case.
+
+Paper: delta writes (+42% tput, +50% success, *higher* latency from
+calcRevenue aggregation), reordering (>50% gains), partitioning (+35% /
++26%), and all three combined (>50%).  Shape checks: every optimization
+improves success; delta writes raise average latency.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG14_DRM, make_usecase, usecase_plans
+
+
+def _run():
+    return execute_experiment(
+        "Figure 14 / DRM", make_usecase("drm"), usecase_plans("drm"), paper=FIG14_DRM
+    )
+
+
+def test_fig14_drm(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_paper_comparison(outcome))
+    without = outcome.row("without")
+    delta = outcome.row("delta writes")
+    assert delta.success_pct > without.success_pct * 1.5
+    assert delta.latency > without.latency  # aggregation cost, as in the paper
+    assert outcome.row("activity reordering").success_pct > without.success_pct
+    assert outcome.row("smart contract partitioning").success_pct > without.success_pct
+    assert outcome.row("all").success_pct > without.success_pct * 2
+    assert "delta_writes" in outcome.recommendations
+    assert "smart_contract_partitioning" in outcome.recommendations

@@ -1,0 +1,28 @@
+"""Figure 15: the electronic health records use case.
+
+Paper: reordering (+60-65% tput/success), pruning (+43%), rate control
+(+69% success), all combined.  Shape checks per optimization.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG15_EHR, make_usecase, usecase_plans
+
+
+def _run():
+    return execute_experiment(
+        "Figure 15 / EHR", make_usecase("ehr"), usecase_plans("ehr"), paper=FIG15_EHR
+    )
+
+
+def test_fig15_ehr(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_paper_comparison(outcome))
+    without = outcome.row("without")
+    assert outcome.row("activity reordering").success_pct > without.success_pct
+    assert outcome.row("transaction rate control").success_pct > without.success_pct
+    assert outcome.row("transaction rate control").latency < without.latency
+    assert outcome.row("process model pruning").success_pct >= without.success_pct
+    assert outcome.row("all").success_pct > without.success_pct
+    for expected in ("activity_reordering", "process_model_pruning", "transaction_rate_control"):
+        assert expected in outcome.recommendations

@@ -1,0 +1,29 @@
+"""Figure 16: the digital voting use case.
+
+Paper: the party tally is a hot key used only by Vote; altering the data
+model to key votes by voterID removes all dependencies (100% success).
+Shape checks: alteration reaches ~100% success and multiplies throughput.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG16_DV, make_usecase, usecase_plans
+
+
+def _run():
+    return execute_experiment(
+        "Figure 16 / DV", make_usecase("voting"), usecase_plans("voting"), paper=FIG16_DV
+    )
+
+
+def test_fig16_voting(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_paper_comparison(outcome))
+    without = outcome.row("without")
+    altered = outcome.row("data model alteration")
+    assert altered.success_pct >= 99.0
+    assert altered.throughput > without.throughput * 2
+    assert outcome.row("all").success_pct >= 99.0
+    assert outcome.row("transaction rate control").success_pct >= without.success_pct
+    assert "data_model_alteration" in outcome.recommendations
+    assert "smart_contract_partitioning" not in outcome.recommendations

@@ -1,0 +1,44 @@
+"""Figure 17: the loan application process (LAP) at 10 and 300 TPS.
+
+Paper: employee 1's key is the single hotkey; re-keying by applicationID
+yields >50% improvement in throughput and success at both send rates.
+Shape checks: alteration improves success/throughput at both rates; rate
+control helps the 300 TPS run.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG17_LAP, make_loan
+from repro.core import OptimizationKind as K
+
+
+def _run_all():
+    low = execute_experiment(
+        "Figure 17 / LAP send_rate_10",
+        make_loan(10.0),
+        [("data model alteration", (K.DATA_MODEL_ALTERATION,))],
+        paper=FIG17_LAP["send_rate_10"],
+    )
+    high = execute_experiment(
+        "Figure 17 / LAP send_rate_300",
+        make_loan(300.0),
+        [
+            ("data model alteration", (K.DATA_MODEL_ALTERATION,)),
+            ("transaction rate control", (K.TRANSACTION_RATE_CONTROL,)),
+            ("all", (K.DATA_MODEL_ALTERATION, K.TRANSACTION_RATE_CONTROL)),
+        ],
+        paper=FIG17_LAP["send_rate_300"],
+    )
+    return [low, high]
+
+
+def test_fig17_loan(benchmark):
+    low, high = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for outcome in (low, high):
+        print()
+        print(format_paper_comparison(outcome))
+        without = outcome.row("without")
+        altered = outcome.row("data model alteration")
+        assert altered.success_pct > without.success_pct * 1.3
+        assert altered.throughput > without.throughput
+    assert "data_model_alteration" in low.recommendations
+    assert high.row("all").success_pct > high.row("without").success_pct

@@ -1,0 +1,44 @@
+"""Figure 18: BlockOptR on top of a FabricSharp-style scheduler.
+
+Paper: even with FabricSharp's transaction reordering active, BlockOptR's
+higher-level recommendations (endorser restructuring, rate control) add
+further gains.  Shape checks: the scheduler keeps baseline success above
+plain Fabric's, and each recommendation still improves its target metric.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG18_FABRICSHARP, make_synthetic
+from repro.core import OptimizationKind as K
+
+PLANS = {
+    "endorsement_policy_p1": [("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))],
+    "endorsement_policy_p2_skew": [("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))],
+    "workload_insert_heavy": [("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))],
+}
+
+
+def _run_all():
+    return [
+        execute_experiment(
+            f"Figure 18 / {experiment}",
+            make_synthetic(experiment, scheduler="fabricsharp"),
+            PLANS[experiment],
+            paper=paper,
+        )
+        for experiment, paper in FIG18_FABRICSHARP.items()
+    ]
+
+
+def test_fig18_fabricsharp(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for outcome in outcomes:
+        print()
+        print(format_paper_comparison(outcome))
+    by_name = {o.name.split("/ ")[-1]: o for o in outcomes}
+    for name in ("endorsement_policy_p1", "endorsement_policy_p2_skew"):
+        outcome = by_name[name]
+        restructured = outcome.row("endorser restructuring")
+        assert restructured.latency <= outcome.row("without").latency
+        assert restructured.success_pct >= outcome.row("without").success_pct - 2.0
+    insert = by_name["workload_insert_heavy"]
+    assert insert.row("transaction rate control").success_pct > insert.row("without").success_pct

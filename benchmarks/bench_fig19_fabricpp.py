@@ -1,0 +1,40 @@
+"""Figure 19: BlockOptR on top of a Fabric++-style scheduler.
+
+Paper: on Fabric++'s weakest workloads (update-, read- and range-read-
+heavy), rate control and activity reordering still deliver up to +55%
+throughput and +46% success on top of the system-level optimizer.
+"""
+
+from repro.bench import execute_experiment, format_paper_comparison
+from repro.bench.experiments import FIG19_FABRICPP, make_synthetic
+from repro.core import OptimizationKind as K
+
+PLANS = [
+    ("transaction rate control", (K.TRANSACTION_RATE_CONTROL,)),
+    ("activity reordering", (K.ACTIVITY_REORDERING,)),
+    ("all", (K.TRANSACTION_RATE_CONTROL, K.ACTIVITY_REORDERING)),
+]
+
+
+def _run_all():
+    return [
+        execute_experiment(
+            f"Figure 19 / {experiment}",
+            make_synthetic(experiment, scheduler="fabricpp"),
+            PLANS,
+            paper=paper,
+        )
+        for experiment, paper in FIG19_FABRICPP.items()
+    ]
+
+
+def test_fig19_fabricpp(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for outcome in outcomes:
+        print()
+        print(format_paper_comparison(outcome))
+        without = outcome.row("without")
+        assert outcome.row("transaction rate control").success_pct > without.success_pct
+        assert outcome.row("transaction rate control").latency < without.latency
+        assert outcome.row("activity reordering").success_pct >= without.success_pct - 2.0
+        assert outcome.row("all").success_pct > without.success_pct

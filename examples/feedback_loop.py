@@ -1,0 +1,47 @@
+"""Self-adaptive feedback loop (the paper's future-work extension).
+
+Runs the EHR workload through iterated analyze -> approve -> apply ->
+re-run cycles, once with every recommendation auto-approved and once with
+an enterprise approval policy that vetoes governance-level changes
+(process redesigns, endorsement policies) — reproducing the paper's point
+that many optimizations "cannot be automatically applied".
+
+    python examples/feedback_loop.py
+"""
+
+from repro.contracts import ehr_family
+from repro.core import FeedbackLoop, technical_only
+from repro.workloads import ehr_workload
+from repro.workloads.usecases import UseCaseSpec
+
+
+def show(outcome, title: str) -> None:
+    print(title)
+    for round_ in outcome.rounds:
+        applied = ", ".join(k.value for k in round_.applied) or "-"
+        vetoed = ", ".join(k.value for k in round_.vetoed) or "-"
+        print(
+            f"  round {round_.iteration}: success {round_.success_rate:.1%} "
+            f"lat {round_.result.avg_latency:.2f}s | applied: {applied} | vetoed: {vetoed}"
+        )
+    print(f"  converged: {outcome.converged}; "
+          f"total gain: {outcome.improvement():+.1f} points\n")
+
+
+def main() -> None:
+    spec = UseCaseSpec(total_transactions=2500, seed=7)
+    config, _, requests = ehr_workload(spec)
+
+    loop = FeedbackLoop(ehr_family(), max_iterations=4)
+    show(loop.run(config, requests), "auto-approved feedback loop:")
+
+    config2, _, requests2 = ehr_workload(spec)
+    constrained = FeedbackLoop(ehr_family(), approval=technical_only, max_iterations=4)
+    show(
+        constrained.run(config2, requests2),
+        "enterprise loop (governance changes vetoed):",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+:mod:`~repro.bench.harness` runs the full loop — generate workload, run,
+analyze with BlockOptR, apply recommended optimizations, re-run — and
+formats paper-style rows (success throughput / average latency / success
+rate, without vs with).  :mod:`~repro.bench.experiments` holds the
+experiment definitions and the paper's reported values for comparison.
+"""
+
+from repro.bench.harness import (
+    ExperimentOutcome,
+    RunRow,
+    default_recommendation,
+    execute_experiment,
+    run_usecase_demo,
+)
+from repro.bench.tables import format_outcome, format_paper_comparison
+
+__all__ = [
+    "ExperimentOutcome",
+    "RunRow",
+    "default_recommendation",
+    "execute_experiment",
+    "format_outcome",
+    "format_paper_comparison",
+    "run_usecase_demo",
+]

@@ -1,0 +1,102 @@
+"""Command-line interface: ``blockoptr`` / ``python -m repro``.
+
+Subcommands:
+
+* ``analyze <log.csv|log.json>`` — run BlockOptR over an exported
+  blockchain log and print the recommendation report.
+* ``demo [--usecase NAME]`` — run a small simulated workload, analyze it,
+  apply the recommendations, re-run, and print before/after numbers.
+* ``export <log.json> --out <log.csv>`` — convert between log formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.recommender import BlockOptR
+from repro.core.report import render_report
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    report = BlockOptR().analyze_file(args.log)
+    print(
+        render_report(
+            report,
+            include_model=not args.no_model,
+            include_insights=args.insights,
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.logs.export import log_from_csv, log_from_json, log_to_csv, log_to_json
+
+    source = args.log
+    if source.endswith(".csv"):
+        log = log_from_csv(source)
+    else:
+        log = log_from_json(source)
+    if args.out.endswith(".csv"):
+        log_to_csv(log, args.out)
+    else:
+        log_to_json(log, args.out)
+    print(f"wrote {args.out} ({len(log)} records)")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_usecase_demo
+
+    outcome = run_usecase_demo(
+        args.usecase, total_transactions=args.transactions, seed=args.seed
+    )
+    print(outcome)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blockoptr",
+        description="Multi-level blockchain optimization recommendations (BlockOptR reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze an exported blockchain log")
+    analyze.add_argument("log", help="path to a .csv or .json blockchain log")
+    analyze.add_argument(
+        "--no-model", action="store_true", help="skip the derived process model section"
+    )
+    analyze.add_argument(
+        "--insights",
+        action="store_true",
+        help="append the conflict-structure appendix (inter/intra-block shares)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    export = sub.add_parser("export", help="convert a log between CSV and JSON")
+    export.add_argument("log")
+    export.add_argument("--out", required=True)
+    export.set_defaults(func=_cmd_export)
+
+    demo = sub.add_parser("demo", help="simulate, analyze, optimize, re-run")
+    demo.add_argument(
+        "--usecase",
+        default="scm",
+        choices=("scm", "drm", "ehr", "voting", "loan", "synthetic"),
+    )
+    demo.add_argument("--transactions", type=int, default=3000)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Smart contracts used in the paper's evaluation.
+
+One module per use case, each providing the baseline contract *and* the
+optimized variants the paper implements after BlockOptR's recommendations:
+
+* :mod:`~repro.contracts.genchain` — the synthetic generic contract behind
+  the 24 synthetic workloads (Table 2/3).
+* :mod:`~repro.contracts.scm` — supply chain management (+ pruned variant).
+* :mod:`~repro.contracts.drm` — digital rights management (+ delta-write
+  and partitioned variants).
+* :mod:`~repro.contracts.ehr` — electronic health records (+ pruned).
+* :mod:`~repro.contracts.voting` — digital voting (+ altered data model).
+* :mod:`~repro.contracts.loan` — loan application process (+ altered
+  data model).
+
+:mod:`~repro.contracts.registry` groups each family's variants so the
+optimization applier can swap contracts mechanically.
+"""
+
+from repro.contracts.drm import DeltaDrmContract, DrmContract, partitioned_drm
+from repro.contracts.ehr import EhrContract, PrunedEhrContract
+from repro.contracts.genchain import GenChainContract
+from repro.contracts.loan import AlteredLoanContract, LoanContract
+from repro.contracts.registry import (
+    ContractDeployment,
+    ContractFamily,
+    drm_family,
+    ehr_family,
+    genchain_family,
+    loan_family,
+    scm_family,
+    voting_family,
+)
+from repro.contracts.scm import PrunedScmContract, ScmContract
+from repro.contracts.voting import AlteredVotingContract, VotingContract
+
+__all__ = [
+    "AlteredLoanContract",
+    "AlteredVotingContract",
+    "ContractDeployment",
+    "ContractFamily",
+    "DeltaDrmContract",
+    "DrmContract",
+    "EhrContract",
+    "GenChainContract",
+    "LoanContract",
+    "PrunedEhrContract",
+    "PrunedScmContract",
+    "ScmContract",
+    "VotingContract",
+    "drm_family",
+    "ehr_family",
+    "genchain_family",
+    "loan_family",
+    "partitioned_drm",
+    "scm_family",
+    "voting_family",
+]

@@ -1,0 +1,196 @@
+"""Digital rights management (DRM) contract.
+
+Music catalog where ``play`` fires on every playback (70% of the paper's
+workload) and increments the play count — making ``music:<id>`` a hot key
+touched by four different activities.  BlockOptR recommends three fixes
+here, each implemented as a variant:
+
+* **Delta writes** (:class:`DeltaDrmContract`): ``play`` becomes a blind
+  write to a unique delta key; ``calcRevenue`` aggregates the deltas with
+  a range read (slower — the paper observes the same latency increase).
+* **Smart contract partitioning** (:func:`partitioned_drm`): the play-count
+  path (``play``, ``calcRevenue``) and the metadata path (``viewMetaData``,
+  ``queryRightHolders``) split into two contracts with separate world
+  states; ``create`` exists in both.
+* **Activity reordering** is a workload-side change (no contract variant).
+"""
+
+from __future__ import annotations
+
+from repro.fabric.chaincode import ChaincodeContext, Contract, contract_function
+from repro.fabric.state import WorldState
+from repro.fabric.transaction import Version
+
+
+def music_key(music_id: str) -> str:
+    return f"music:{music_id}"
+
+
+def revenue_key(music_id: str) -> str:
+    return f"revenue:{music_id}"
+
+
+def delta_prefix(music_id: str) -> str:
+    return f"delta:{music_id}:"
+
+
+#: Royalty paid per play when computing right-holder revenue.
+ROYALTY_PER_PLAY = 0.01
+
+
+class DrmContract(Contract):
+    """Baseline DRM: play count and metadata share one hot record."""
+
+    name = "drm"
+
+    def __init__(self, num_tracks: int = 100) -> None:
+        self.num_tracks = num_tracks
+
+    def track_id(self, index: int) -> str:
+        return f"M{index:05d}"
+
+    def setup(self, state: WorldState) -> None:
+        for index in range(self.num_tracks):
+            music_id = self.track_id(index)
+            state.put(
+                music_key(music_id),
+                self._initial_record(music_id),
+                Version(0, index),
+            )
+
+    def _initial_record(self, music_id: str) -> dict:
+        return {
+            "plays": 0,
+            "metadata": {"title": f"Track {music_id}", "year": 2023},
+            "rights": [f"artist-{music_id}", f"label-{music_id}"],
+        }
+
+    @contract_function
+    def create(self, ctx: ChaincodeContext, music_id: str) -> None:
+        """Register a new piece of music."""
+        ctx.get_state(music_key(music_id))
+        ctx.put_state(music_key(music_id), self._initial_record(music_id))
+
+    @contract_function
+    def play(self, ctx: ChaincodeContext, music_id: str) -> None:
+        """Count one playback: read-modify-write on the hot record."""
+        record = ctx.get_state(music_key(music_id))
+        if record is None:
+            return
+        updated = dict(record)
+        updated["plays"] = record["plays"] + 1
+        ctx.put_state(music_key(music_id), updated)
+
+    @contract_function
+    def queryRightHolders(self, ctx: ChaincodeContext, music_id: str) -> object:
+        record = ctx.get_state(music_key(music_id))
+        return record["rights"] if record else None
+
+    @contract_function
+    def viewMetaData(self, ctx: ChaincodeContext, music_id: str) -> object:
+        record = ctx.get_state(music_key(music_id))
+        return record["metadata"] if record else None
+
+    @contract_function
+    def calcRevenue(self, ctx: ChaincodeContext, music_id: str) -> float:
+        """Revenue of the right holders, proportional to the play count."""
+        record = ctx.get_state(music_key(music_id))
+        plays = record["plays"] if record else 0
+        revenue = plays * ROYALTY_PER_PLAY
+        ctx.put_state(revenue_key(music_id), revenue)
+        return revenue
+
+
+class DeltaDrmContract(DrmContract):
+    """Delta-write variant: ``play`` is a blind write to a unique key.
+
+    The update transaction becomes write-only (no read set, no MVCC
+    exposure); aggregation moves into ``calcRevenue``, which range-scans
+    the delta keys — trading its own latency for ``play`` success, as the
+    paper reports.
+    """
+
+    name = "drm"
+
+    #: Aggregating every delta key makes calcRevenue far more expensive
+    #: than a point lookup; blind-write plays are slightly cheaper.
+    COST_FACTORS = {"calcRevenue": 15.0, "play": 0.8}
+
+    def cost_factor(self, activity: str) -> float:
+        return self.COST_FACTORS.get(activity, 1.0)
+
+    @contract_function
+    def play(self, ctx: ChaincodeContext, music_id: str) -> None:
+        ctx.put_state(f"{delta_prefix(music_id)}{ctx.nonce}", 1)
+
+    @contract_function
+    def calcRevenue(self, ctx: ChaincodeContext, music_id: str) -> float:
+        record = ctx.get_state(music_key(music_id))
+        base_plays = record["plays"] if record else 0
+        prefix = delta_prefix(music_id)
+        deltas = ctx.get_state_range(prefix, prefix + "￿")
+        plays = base_plays + sum(value for _, value in deltas)
+        revenue = plays * ROYALTY_PER_PLAY
+        ctx.put_state(revenue_key(music_id), revenue)
+        return revenue
+
+
+class DrmPlayContract(DrmContract):
+    """Partition 1: the play-count world state (play, calcRevenue, create).
+
+    The metadata functions are overridden *without* the contract-function
+    marker, so invoking them on this partition raises
+    ``UnknownFunctionError`` — misrouting fails loudly.
+    """
+
+    name = "drm_play"
+
+    def _initial_record(self, music_id: str) -> dict:
+        return {"plays": 0, "rights": [f"artist-{music_id}", f"label-{music_id}"]}
+
+    def viewMetaData(self, ctx: ChaincodeContext, music_id: str) -> object:
+        raise NotImplementedError("viewMetaData lives in the drm_meta partition")
+
+    def queryRightHolders(self, ctx: ChaincodeContext, music_id: str) -> object:
+        raise NotImplementedError("queryRightHolders lives in the drm_meta partition")
+
+
+class DrmMetaContract(DrmContract):
+    """Partition 2: the metadata world state (viewMetaData, queryRightHolders).
+
+    The primary key (``music:<id>``) is duplicated across both partitions
+    — the paper's analogy to relational table layout — with different
+    secondary data in each.
+    """
+
+    name = "drm_meta"
+
+    def _initial_record(self, music_id: str) -> dict:
+        return {
+            "metadata": {"title": f"Track {music_id}", "year": 2023},
+            "rights": [f"artist-{music_id}", f"label-{music_id}"],
+        }
+
+    def play(self, ctx: ChaincodeContext, music_id: str) -> None:
+        raise NotImplementedError("play lives in the drm_play partition")
+
+    def calcRevenue(self, ctx: ChaincodeContext, music_id: str) -> float:
+        raise NotImplementedError("calcRevenue lives in the drm_play partition")
+
+
+#: Activity routing for the partitioned deployment.
+PARTITION_ROUTING: dict[str, str] = {
+    "play": "drm_play",
+    "calcRevenue": "drm_play",
+    "create": "drm_play",
+    "viewMetaData": "drm_meta",
+    "queryRightHolders": "drm_meta",
+}
+
+
+def partitioned_drm(num_tracks: int = 100) -> tuple[list[Contract], dict[str, str]]:
+    """The two partition contracts plus the activity->contract routing."""
+    return (
+        [DrmPlayContract(num_tracks=num_tracks), DrmMetaContract(num_tracks=num_tracks)],
+        dict(PARTITION_ROUTING),
+    )

@@ -1,0 +1,107 @@
+"""Electronic health records (EHR) contract.
+
+Patients grant and revoke access rights for medical and research
+institutes to query their records (Section 5.1.2); the paper drives it
+with a 70% update-heavy workload.  ``patient:<id>`` holds the access-control
+list — the contended record — while ``record:<id>`` holds the medical data.
+
+The illogical path the paper prunes: *revoke access to records without
+granting access* first.  The baseline commits such transactions read-only
+(provenance of the attempt); :class:`PrunedEhrContract` aborts them at
+endorsement.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.chaincode import (
+    ChaincodeAbort,
+    ChaincodeContext,
+    Contract,
+    contract_function,
+)
+from repro.fabric.state import WorldState
+from repro.fabric.transaction import Version
+
+
+def patient_key(patient_id: str) -> str:
+    return f"patient:{patient_id}"
+
+
+def record_key(patient_id: str) -> str:
+    return f"record:{patient_id}"
+
+
+class EhrContract(Contract):
+    """Baseline EHR access-control contract."""
+
+    name = "ehr"
+
+    def __init__(self, num_patients: int = 200) -> None:
+        self.num_patients = num_patients
+
+    def patient_id(self, index: int) -> str:
+        return f"PT{index:05d}"
+
+    def setup(self, state: WorldState) -> None:
+        for index in range(self.num_patients):
+            pid = self.patient_id(index)
+            state.put(patient_key(pid), {"access": []}, Version(0, 2 * index))
+            state.put(
+                record_key(pid), {"entries": [f"baseline-{pid}"]}, Version(0, 2 * index + 1)
+            )
+
+    @contract_function
+    def grantAccess(self, ctx: ChaincodeContext, patient_id: str, institute: str) -> None:
+        """Add ``institute`` to the patient's access list (update)."""
+        acl = ctx.get_state(patient_key(patient_id)) or {"access": []}
+        access = list(acl["access"])
+        if institute not in access:
+            access.append(institute)
+        ctx.put_state(patient_key(patient_id), {"access": access})
+
+    @contract_function
+    def revokeAccess(self, ctx: ChaincodeContext, patient_id: str, institute: str) -> None:
+        """Remove ``institute``; revoking a non-granted right is illogical."""
+        acl = ctx.get_state(patient_key(patient_id)) or {"access": []}
+        access = list(acl["access"])
+        if institute not in access:
+            self._handle_illogical(ctx, patient_id, institute)
+            return
+        access.remove(institute)
+        ctx.put_state(patient_key(patient_id), {"access": access})
+
+    @contract_function
+    def queryRecord(self, ctx: ChaincodeContext, patient_id: str, institute: str) -> object:
+        """Read a medical record, checking the access list first."""
+        acl = ctx.get_state(patient_key(patient_id)) or {"access": []}
+        if institute not in acl["access"]:
+            return None
+        return ctx.get_state(record_key(patient_id))
+
+    @contract_function
+    def addRecord(self, ctx: ChaincodeContext, patient_id: str, entry: str) -> None:
+        """Append a medical entry to the patient's record."""
+        record = ctx.get_state(record_key(patient_id)) or {"entries": []}
+        entries = list(record["entries"])
+        entries.append(entry)
+        ctx.put_state(record_key(patient_id), {"entries": entries})
+
+    def _handle_illogical(
+        self, ctx: ChaincodeContext, patient_id: str, institute: str
+    ) -> None:
+        """Baseline behaviour: commit the attempt read-only."""
+        del ctx, patient_id, institute
+
+
+class PrunedEhrContract(EhrContract):
+    """Pruned variant: aborts revoke-without-grant during endorsement."""
+
+    name = "ehr"
+
+    def _handle_illogical(
+        self, ctx: ChaincodeContext, patient_id: str, institute: str
+    ) -> None:
+        del ctx
+        raise ChaincodeAbort(
+            f"pruned path: revokeAccess({patient_id}, {institute}) without grant"
+        )

@@ -1,0 +1,173 @@
+"""Loan application process (LAP) contract.
+
+Reproduces Section 5.1.3: a smart contract derived from the BPI-2017 loan
+event log of a Dutch financial institute.  The paper's first-cut data
+model keys everything by ``employeeID`` — the value is the array of all
+applications that employee handled — so every activity for any application
+processed by a busy employee updates the same key.  Employee 1 handles the
+most applications, making ``employee:EMP001`` a single hot key; BlockOptR
+recommends *data model alteration*, and :class:`AlteredLoanContract` keys
+by ``applicationID`` with the employee as an attribute instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fabric.chaincode import ChaincodeContext, Contract, contract_function
+from repro.fabric.state import WorldState
+
+
+def employee_key(employee_id: str) -> str:
+    return f"employee:{employee_id}"
+
+
+def application_key(application_id: str) -> str:
+    return f"application:{application_id}"
+
+
+#: Activities of the loan process flow, mirroring the BPI-2017 model.
+LOAN_ACTIVITIES = (
+    "createApplication",
+    "submitApplication",
+    "acceptApplication",
+    "createOffer",
+    "sendOffer",
+    "validateApplication",
+    "approveApplication",
+    "rejectApplication",
+    "cancelApplication",
+)
+
+
+class LoanContract(Contract):
+    """Baseline LAP contract keyed by employee (the paper's first design)."""
+
+    name = "loan"
+
+    def setup(self, state: WorldState) -> None:
+        del state  # employees appear on first write
+
+    # -- internal helpers --------------------------------------------------------
+
+    def _record_event(
+        self,
+        ctx: ChaincodeContext,
+        activity: str,
+        application_id: str,
+        employee_id: str,
+        loan_type: str = "personal",
+        amount: float = 0.0,
+    ) -> None:
+        """Append/refresh this application's struct under the employee key."""
+        portfolio: list[dict[str, Any]] = list(
+            ctx.get_state(employee_key(employee_id)) or []
+        )
+        entry = None
+        for candidate in portfolio:
+            if candidate["application"] == application_id:
+                entry = candidate
+                break
+        if entry is None:
+            entry = {
+                "application": application_id,
+                "loan_type": loan_type,
+                "amount": amount,
+                "status": activity,
+            }
+            portfolio.append(entry)
+        else:
+            entry = dict(entry)
+            entry["status"] = activity
+            portfolio = [
+                entry if item["application"] == application_id else item
+                for item in portfolio
+            ]
+        ctx.put_state(employee_key(employee_id), portfolio)
+
+    # One explicit contract function per loan-process activity: the paper's
+    # contract has "a corresponding smart contract function" for every
+    # activity in the process flow.
+
+    @contract_function
+    def createApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "createApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def submitApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "submitApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def acceptApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "acceptApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def createOffer(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "createOffer", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def sendOffer(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "sendOffer", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def validateApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "validateApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def approveApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "approveApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def rejectApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "rejectApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def cancelApplication(self, ctx, application_id, employee_id, loan_type="personal", amount=0.0):
+        self._record_event(ctx, "cancelApplication", application_id, employee_id, loan_type, amount)
+
+    @contract_function
+    def queryEmployee(self, ctx: ChaincodeContext, employee_id: str) -> object:
+        """All applications processed by one employee (cheap in this model)."""
+        return ctx.get_state(employee_key(employee_id))
+
+
+class AlteredLoanContract(LoanContract):
+    """Altered data model: one key per application (the paper's redesign).
+
+    ``applicationID`` becomes the primary key; the value is a struct with
+    the employee, amount, type and status.  The hot employee key vanishes;
+    querying an employee's portfolio now requires a scan.
+    """
+
+    name = "loan"
+
+    def cost_factor(self, activity: str) -> float:
+        # Portfolio queries now scan all applications instead of one key.
+        return 5.0 if activity == "queryEmployee" else 1.0
+
+    def _record_event(
+        self,
+        ctx: ChaincodeContext,
+        activity: str,
+        application_id: str,
+        employee_id: str,
+        loan_type: str = "personal",
+        amount: float = 0.0,
+    ) -> None:
+        current = ctx.get_state(application_key(application_id))
+        record = dict(current) if current else {
+            "employee": employee_id,
+            "loan_type": loan_type,
+            "amount": amount,
+        }
+        record["status"] = activity
+        record["employee"] = employee_id
+        ctx.put_state(application_key(application_id), record)
+
+    @contract_function
+    def queryEmployee(self, ctx: ChaincodeContext, employee_id: str) -> object:
+        matches = []
+        for key, record in ctx.get_state_range(application_key(""), application_key("￿")):
+            if record.get("employee") == employee_id:
+                matches.append((key, record))
+        return matches

@@ -1,0 +1,135 @@
+"""Contract families: baseline + optimized variants, mechanically swappable.
+
+The optimization applier (:mod:`repro.core.apply`) implements the paper's
+Table 4 settings.  Data-level recommendations all amount to "update the
+smart contract"; a :class:`ContractFamily` records which variant implements
+which optimization so the applier can perform the swap without use-case
+specific code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.contracts.drm import DeltaDrmContract, DrmContract, partitioned_drm
+from repro.contracts.ehr import EhrContract, PrunedEhrContract
+from repro.contracts.genchain import GenChainContract
+from repro.contracts.loan import AlteredLoanContract, LoanContract
+from repro.contracts.scm import PrunedScmContract, ScmContract
+from repro.contracts.voting import AlteredVotingContract, VotingContract
+from repro.fabric.chaincode import Contract
+
+#: Variant keys — string forms of the optimization kinds that need a
+#: contract change (values match OptimizationKind in repro.core).
+PROCESS_MODEL_PRUNING = "process_model_pruning"
+DELTA_WRITES = "delta_writes"
+SMART_CONTRACT_PARTITIONING = "smart_contract_partitioning"
+DATA_MODEL_ALTERATION = "data_model_alteration"
+
+
+@dataclass
+class ContractDeployment:
+    """Contracts to install plus how activities route to them."""
+
+    contracts: list[Contract]
+    #: activity name -> contract name; activities absent from the map keep
+    #: their original contract.
+    routing: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ContractFamily:
+    """A use case's baseline deployment and its optimization variants."""
+
+    family: str
+    baseline: Callable[[], ContractDeployment]
+    variants: dict[str, Callable[[], ContractDeployment]] = field(default_factory=dict)
+
+    def deploy(self, variant: str | None = None) -> ContractDeployment:
+        """Instantiate the baseline or a named variant deployment."""
+        if variant is None:
+            return self.baseline()
+        if variant not in self.variants:
+            raise KeyError(
+                f"{self.family} has no variant for {variant!r}; "
+                f"available: {sorted(self.variants)}"
+            )
+        return self.variants[variant]()
+
+    def supports(self, variant: str) -> bool:
+        return variant in self.variants
+
+
+def _single(contract: Contract) -> ContractDeployment:
+    return ContractDeployment(contracts=[contract])
+
+
+def genchain_family(num_keys: int = 1000) -> ContractFamily:
+    """genChain has generic functions only — no contract-level variants
+    (the paper: "we cannot redesign the smart contract")."""
+    return ContractFamily(
+        family="genchain",
+        baseline=lambda: _single(GenChainContract(num_keys=num_keys)),
+    )
+
+
+def scm_family(num_products: int = 0) -> ContractFamily:
+    return ContractFamily(
+        family="scm",
+        baseline=lambda: _single(ScmContract(num_products=num_products)),
+        variants={
+            PROCESS_MODEL_PRUNING: lambda: _single(
+                PrunedScmContract(num_products=num_products)
+            ),
+        },
+    )
+
+
+def drm_family(num_tracks: int = 100) -> ContractFamily:
+    def _partitioned() -> ContractDeployment:
+        contracts, routing = partitioned_drm(num_tracks=num_tracks)
+        return ContractDeployment(contracts=contracts, routing=routing)
+
+    return ContractFamily(
+        family="drm",
+        baseline=lambda: _single(DrmContract(num_tracks=num_tracks)),
+        variants={
+            DELTA_WRITES: lambda: _single(DeltaDrmContract(num_tracks=num_tracks)),
+            SMART_CONTRACT_PARTITIONING: _partitioned,
+        },
+    )
+
+
+def ehr_family(num_patients: int = 200) -> ContractFamily:
+    return ContractFamily(
+        family="ehr",
+        baseline=lambda: _single(EhrContract(num_patients=num_patients)),
+        variants={
+            PROCESS_MODEL_PRUNING: lambda: _single(
+                PrunedEhrContract(num_patients=num_patients)
+            ),
+        },
+    )
+
+
+def voting_family(num_parties: int = 5) -> ContractFamily:
+    return ContractFamily(
+        family="voting",
+        baseline=lambda: _single(VotingContract(num_parties=num_parties)),
+        variants={
+            DATA_MODEL_ALTERATION: lambda: _single(
+                AlteredVotingContract(num_parties=num_parties)
+            ),
+        },
+    )
+
+
+def loan_family() -> ContractFamily:
+    return ContractFamily(
+        family="loan",
+        baseline=lambda: _single(LoanContract()),
+        variants={
+            DATA_MODEL_ALTERATION: lambda: _single(AlteredLoanContract()),
+        },
+    )

@@ -1,0 +1,124 @@
+"""Supply chain management (SCM) contract.
+
+The paper's running example (Sections 3, 5.1.2, 6.2): products move
+through ``pushASN -> ship -> queryASN -> unload`` while ``queryProducts``
+and ``updateAuditInfo`` happen at any time.
+
+Design trade-off from Section 3, implemented literally: when an activity
+arrives out of order (``ship`` without a prior ``pushASN``, ``unload``
+without a prior ``ship``), the *baseline* contract commits the transaction
+read-only — an immutable provenance record of the deviation — whereas the
+*pruned* variant aborts it during endorsement so it never consumes
+ordering and validation resources.
+
+Data model: ``product:<id>`` holds the product's lifecycle state;
+``updateAuditInfo`` reads the product but writes ``audit:<id>`` — a
+disjoint write set, which is exactly what makes {updateAuditInfo}
+reorderable against {pushASN, ship, unload} (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.fabric.chaincode import (
+    ChaincodeAbort,
+    ChaincodeContext,
+    Contract,
+    contract_function,
+)
+from repro.fabric.state import WorldState
+from repro.fabric.transaction import Version
+
+#: Lifecycle states a product moves through, in order.
+ASN_PUSHED = "asn_pushed"
+SHIPPED = "shipped"
+UNLOADED = "unloaded"
+
+
+def product_key(product_id: str) -> str:
+    return f"product:{product_id}"
+
+
+def audit_key(product_id: str) -> str:
+    return f"audit:{product_id}"
+
+
+class ScmContract(Contract):
+    """Baseline SCM contract: commits illogical transitions read-only."""
+
+    name = "scm"
+
+    def __init__(self, num_products: int = 0) -> None:
+        #: Products pre-registered at genesis (0 = created via pushASN).
+        self.num_products = num_products
+
+    def setup(self, state: WorldState) -> None:
+        for index in range(self.num_products):
+            state.put(product_key(f"P{index:05d}"), "registered", Version(0, index))
+
+    # -- main product flow -----------------------------------------------------
+
+    @contract_function
+    def pushASN(self, ctx: ChaincodeContext, product_id: str) -> None:
+        """Push the advanced shipping notice (creates/advances the product)."""
+        ctx.get_state(product_key(product_id))
+        ctx.put_state(product_key(product_id), ASN_PUSHED)
+
+    @contract_function
+    def ship(self, ctx: ChaincodeContext, product_id: str) -> None:
+        state = ctx.get_state(product_key(product_id))
+        if state != ASN_PUSHED:
+            self._handle_illogical(ctx, "ship", product_id, state)
+            return
+        ctx.put_state(product_key(product_id), SHIPPED)
+
+    @contract_function
+    def queryASN(self, ctx: ChaincodeContext, product_id: str) -> object:
+        return ctx.get_state(product_key(product_id))
+
+    @contract_function
+    def unload(self, ctx: ChaincodeContext, product_id: str) -> None:
+        state = ctx.get_state(product_key(product_id))
+        if state != SHIPPED:
+            self._handle_illogical(ctx, "unload", product_id, state)
+            return
+        ctx.put_state(product_key(product_id), UNLOADED)
+
+    # -- side activities ---------------------------------------------------------
+
+    @contract_function
+    def queryProducts(self, ctx: ChaincodeContext, start: str, end: str) -> list:
+        """Range query over product records."""
+        return ctx.get_state_range(product_key(start), product_key(end))
+
+    @contract_function
+    def updateAuditInfo(self, ctx: ChaincodeContext, product_id: str) -> None:
+        """Audit entry: reads the product, writes only the audit record."""
+        details = ctx.get_state(product_key(product_id))
+        ctx.put_state(audit_key(product_id), {"product": product_id, "state": details})
+
+    # -- deviation handling -------------------------------------------------------
+
+    def _handle_illogical(
+        self, ctx: ChaincodeContext, activity: str, product_id: str, state: object
+    ) -> None:
+        """Out-of-order transition: keep the read-only provenance record."""
+        del ctx, activity, product_id, state
+
+
+class PrunedScmContract(ScmContract):
+    """Pruned variant: early-aborts illogical transitions at endorsement.
+
+    Implements the paper's *process model pruning* recommendation inside
+    the smart contract — anomalous transactions never reach ordering or
+    validation.
+    """
+
+    name = "scm"
+
+    def _handle_illogical(
+        self, ctx: ChaincodeContext, activity: str, product_id: str, state: object
+    ) -> None:
+        del ctx
+        raise ChaincodeAbort(
+            f"pruned path: {activity}({product_id}) in state {state!r}"
+        )

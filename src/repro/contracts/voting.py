@@ -1,0 +1,93 @@
+"""Digital voting (DV) contract.
+
+An election where every ``vote`` increments a per-party tally —
+``party:<id>`` becomes a single hot key hammered during the voting phase.
+BlockOptR detects the hotkey, sees it is accessed by only one activity,
+and recommends *data model alteration*: :class:`AlteredVotingContract`
+keys votes by ``voterID`` instead, and since each voter votes once there
+are no more transaction dependencies (the paper observes 100% success).
+"""
+
+from __future__ import annotations
+
+from repro.fabric.chaincode import ChaincodeContext, Contract, contract_function
+from repro.fabric.state import WorldState
+from repro.fabric.transaction import Version
+
+
+def party_key(party_id: str) -> str:
+    return f"party:{party_id}"
+
+
+def voter_key(voter_id: str) -> str:
+    return f"voter:{voter_id}"
+
+
+ELECTION_KEY = "election:state"
+
+
+class VotingContract(Contract):
+    """Baseline DV contract: votes update the party tally (hot key)."""
+
+    name = "voting"
+
+    def __init__(self, num_parties: int = 5) -> None:
+        self.num_parties = num_parties
+
+    def party_id(self, index: int) -> str:
+        return f"PARTY{index:02d}"
+
+    def setup(self, state: WorldState) -> None:
+        for index in range(self.num_parties):
+            state.put(party_key(self.party_id(index)), {"votes": 0}, Version(0, index))
+        state.put(ELECTION_KEY, "open", Version(0, self.num_parties))
+
+    @contract_function
+    def vote(self, ctx: ChaincodeContext, party_id: str, voter_id: str) -> None:
+        """One vote: increments the party tally (read-modify-write)."""
+        tally = ctx.get_state(party_key(party_id))
+        if tally is None:
+            return
+        ctx.put_state(party_key(party_id), {"votes": tally["votes"] + 1})
+        ctx.put_state(voter_key(voter_id), party_id)
+
+    @contract_function
+    def queryParties(self, ctx: ChaincodeContext) -> list:
+        return ctx.get_state_range(party_key(""), party_key("￿"))
+
+    @contract_function
+    def seeResults(self, ctx: ChaincodeContext) -> dict:
+        results = {}
+        for key, value in ctx.get_state_range(party_key(""), party_key("￿")):
+            results[key] = value["votes"]
+        return results
+
+    @contract_function
+    def endElection(self, ctx: ChaincodeContext) -> None:
+        ctx.get_state(ELECTION_KEY)
+        ctx.put_state(ELECTION_KEY, "closed")
+
+
+class AlteredVotingContract(VotingContract):
+    """Altered data model: ``voterID`` is the primary key for votes.
+
+    ``vote`` touches only the voter's own key — reads it to enforce the
+    single-vote rule, then writes the choice — so concurrent votes never
+    conflict.  Results are aggregated from the voter records.
+    """
+
+    name = "voting"
+
+    @contract_function
+    def vote(self, ctx: ChaincodeContext, party_id: str, voter_id: str) -> None:
+        existing = ctx.get_state(voter_key(voter_id))
+        if existing is not None:
+            return  # single vote per voter; repeat attempts are read-only
+        ctx.put_state(voter_key(voter_id), party_id)
+
+    @contract_function
+    def seeResults(self, ctx: ChaincodeContext) -> dict:
+        results: dict[str, int] = {}
+        for _, choice in ctx.get_state_range(voter_key(""), voter_key("￿")):
+            results[choice] = results.get(choice, 0) + 1
+        return results

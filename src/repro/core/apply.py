@@ -1,0 +1,147 @@
+"""Optimization implementation (paper Table 4 / Figure 6).
+
+Applies recommended optimizations to an experiment's three ingredients —
+network configuration, contract deployment, workload — producing new ones
+to re-run:
+
+| Recommendation                | Setting (Table 4)                          |
+|-------------------------------|--------------------------------------------|
+| Activity reordering           | reorder workload generation                |
+| Transaction rate control      | set send rate to 100 TPS                   |
+| Process model pruning         | update smart contract (variant swap)       |
+| Delta writes                  | update smart contract (variant swap)       |
+| Smart contract partitioning   | update smart contract (variant swap + routing) |
+| Data model alteration         | update smart contract (variant swap)       |
+| Block size adaptation         | set block count to derived transaction rate |
+| Endorser restructuring        | set endorsement policy to OutOf(m, all orgs) |
+| Client resource boost         | double clients for the recommended org     |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.contracts.registry import ContractDeployment, ContractFamily
+from repro.core.recommendations import OptimizationKind, Recommendation
+from repro.fabric.config import NetworkConfig
+from repro.fabric.transaction import TxRequest
+from repro.workloads.schedule import cap_rate, reorder_requests
+
+#: Recommendations implemented by swapping in a contract variant.
+_CONTRACT_SWAPS = (
+    OptimizationKind.PROCESS_MODEL_PRUNING,
+    OptimizationKind.DELTA_WRITES,
+    OptimizationKind.SMART_CONTRACT_PARTITIONING,
+    OptimizationKind.DATA_MODEL_ALTERATION,
+)
+
+
+@dataclass
+class ApplyResult:
+    """Outcome of applying a set of recommendations."""
+
+    config: NetworkConfig
+    deployment: ContractDeployment
+    requests: list[TxRequest]
+    applied: list[OptimizationKind] = field(default_factory=list)
+    #: Recommendations that could not be applied (e.g. no contract variant:
+    #: the paper could not redesign the synthetic contract either).
+    skipped: list[OptimizationKind] = field(default_factory=list)
+
+
+def apply_recommendations(
+    recommendations: list[Recommendation],
+    config: NetworkConfig,
+    family: ContractFamily,
+    requests: list[TxRequest],
+    only: set[OptimizationKind] | None = None,
+    rate_cap: float = 100.0,
+) -> ApplyResult:
+    """Apply ``recommendations`` (optionally restricted to ``only``).
+
+    Contract-variant swaps conflict with one another (one deployment),
+    so at most one swap is applied per call — the first in Table 1 order.
+    Use ``only`` to study a single optimization, as the paper's per-figure
+    experiments do.
+    """
+    new_config = config.copy()
+    deployment = family.deploy()
+    new_requests = list(requests)
+    applied: list[OptimizationKind] = []
+    skipped: list[OptimizationKind] = []
+
+    selected = [
+        rec
+        for rec in recommendations
+        if only is None or rec.kind in only
+    ]
+    swap_done = False
+    for rec in selected:
+        kind = rec.kind
+        if kind is OptimizationKind.ACTIVITY_REORDERING:
+            new_requests = reorder_requests(
+                new_requests,
+                front_activities=set(rec.actions.get("front", ())),
+                back_activities=set(rec.actions.get("back", ())),
+            )
+            applied.append(kind)
+        elif kind is OptimizationKind.TRANSACTION_RATE_CONTROL:
+            target = float(rec.actions.get("target_rate", rate_cap))
+            new_requests = cap_rate(new_requests, target)
+            applied.append(kind)
+        elif kind in _CONTRACT_SWAPS:
+            if swap_done or not family.supports(kind.value):
+                skipped.append(kind)
+                continue
+            deployment = family.deploy(kind.value)
+            swap_done = True
+            applied.append(kind)
+        elif kind is OptimizationKind.BLOCK_SIZE_ADAPTATION:
+            new_config.block_count = int(rec.actions["block_count"])
+            applied.append(kind)
+        elif kind is OptimizationKind.ENDORSER_RESTRUCTURING:
+            new_config.endorsement_policy = str(rec.actions["policy"])
+            if rec.actions.get("balance_selection", True):
+                new_config.endorser_selection_skew = 0.0
+            applied.append(kind)
+        elif kind is OptimizationKind.CLIENT_RESOURCE_BOOST:
+            factor = int(rec.actions.get("scale_factor", 2))
+            for org_name in rec.actions.get("orgs", ()):
+                new_config.org(org_name).num_clients *= factor
+            applied.append(kind)
+        else:  # pragma: no cover - future kinds
+            skipped.append(kind)
+
+    if deployment.routing:
+        new_requests = _reroute(new_requests, deployment)
+    return ApplyResult(
+        config=new_config,
+        deployment=deployment,
+        requests=new_requests,
+        applied=applied,
+        skipped=skipped,
+    )
+
+
+def _reroute(
+    requests: list[TxRequest], deployment: ContractDeployment
+) -> list[TxRequest]:
+    """Point requests at the contracts of a partitioned deployment."""
+    known = {contract.name for contract in deployment.contracts}
+    rerouted = []
+    for request in requests:
+        target = deployment.routing.get(request.activity, request.contract)
+        if target not in known:
+            raise ValueError(
+                f"activity {request.activity!r} routes to unknown contract {target!r}"
+            )
+        rerouted.append(
+            TxRequest(
+                submit_time=request.submit_time,
+                activity=request.activity,
+                args=request.args,
+                contract=target,
+                invoker_org=request.invoker_org,
+            )
+        )
+    return rerouted

@@ -1,0 +1,137 @@
+"""Automatic threshold tuning (paper Section 9, future work).
+
+"Presently, the threshold settings of BlockOptR depend on the business
+network setup ... tuning these thresholds automatically in BlockOptR could
+be a future extension."
+
+Two tuners are provided:
+
+* :func:`calibrate_rate_threshold` — derives ``Rt1`` (the high-traffic
+  rate) from the log itself: the paper sets it to the deployment's
+  sustainable rate ("higher rates led to instabilities"), which we
+  estimate as the send rate at which per-interval failure shares start
+  exceeding ``Rt2``.
+* :class:`GridTuner` — supervised tuning: given labelled logs (log +
+  the recommendations an expert says are correct), grid-search the
+  threshold space for the setting with the best F1 agreement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.metrics import compute_metrics
+from repro.core.recommendations import OptimizationKind
+from repro.core.rules import evaluate_rules
+from repro.core.thresholds import Thresholds
+from repro.logs.blockchain_log import BlockchainLog
+
+
+def calibrate_rate_threshold(
+    log: BlockchainLog, thresholds: Thresholds | None = None
+) -> Thresholds:
+    """Set ``Rt1`` to the lowest interval rate whose failure share exceeds
+    ``Rt2`` — the deployment's observed instability point.
+
+    If no interval is unstable the existing ``Rt1`` is kept (there is no
+    evidence the current traffic is too high).
+    """
+    thresholds = thresholds or Thresholds()
+    metrics = compute_metrics(log, interval_seconds=thresholds.interval_seconds)
+    unstable_rates = [
+        rate
+        for rate, failures in zip(metrics.trd, metrics.frd)
+        if rate > 0 and failures >= rate * thresholds.failure_fraction
+    ]
+    if not unstable_rates:
+        return thresholds
+    return replace(thresholds, rate_high=min(unstable_rates))
+
+
+@dataclass(frozen=True)
+class LabelledLog:
+    """A training example: a log and its expert-approved recommendations."""
+
+    log: BlockchainLog
+    expected: frozenset[OptimizationKind]
+
+
+@dataclass
+class TuningResult:
+    """Best thresholds found plus the search trace."""
+
+    thresholds: Thresholds
+    f1: float
+    evaluated: int
+    trace: list[tuple[dict, float]] = field(default_factory=list)
+
+
+#: Default search grid: a coarse sweep around the paper's defaults.
+DEFAULT_GRID: dict[str, Sequence[float]] = {
+    "failure_fraction": (0.1, 0.3, 0.5),
+    "reorderable_mvcc_share": (0.2, 0.4, 0.6),
+    "hotkey_failure_share": (0.05, 0.1, 0.2),
+}
+
+
+class GridTuner:
+    """Grid search over threshold settings against labelled logs."""
+
+    def __init__(self, grid: dict[str, Sequence[float]] | None = None) -> None:
+        self.grid = dict(grid or DEFAULT_GRID)
+        for name in self.grid:
+            if not hasattr(Thresholds(), name):
+                raise ValueError(f"unknown threshold {name!r}")
+
+    def _candidates(self) -> Iterable[Thresholds]:
+        names = sorted(self.grid)
+        for values in itertools.product(*(self.grid[name] for name in names)):
+            yield Thresholds(**dict(zip(names, values)))
+
+    @staticmethod
+    def _f1(predicted: set[OptimizationKind], expected: frozenset[OptimizationKind]) -> float:
+        if not predicted and not expected:
+            return 1.0
+        true_positive = len(predicted & expected)
+        if true_positive == 0:
+            return 0.0
+        precision = true_positive / len(predicted)
+        recall = true_positive / len(expected)
+        return 2 * precision * recall / (precision + recall)
+
+    def _score(self, thresholds: Thresholds, examples: Sequence[LabelledLog]) -> float:
+        scores = []
+        for example in examples:
+            metrics = compute_metrics(
+                example.log,
+                interval_seconds=thresholds.interval_seconds,
+                hotkey_failure_share=thresholds.hotkey_failure_share,
+                hotkey_min_failures=thresholds.hotkey_min_failures,
+            )
+            predicted = {rec.kind for rec in evaluate_rules(metrics, thresholds)}
+            scores.append(self._f1(predicted, example.expected))
+        return sum(scores) / len(scores)
+
+    def tune(self, examples: Sequence[LabelledLog]) -> TuningResult:
+        """Return the grid point with the best mean F1 over ``examples``."""
+        if not examples:
+            raise ValueError("tuning needs at least one labelled log")
+        best: Thresholds | None = None
+        best_score = -1.0
+        trace: list[tuple[dict, float]] = []
+        evaluated = 0
+        names = sorted(self.grid)
+        for candidate in self._candidates():
+            score = self._score(candidate, examples)
+            evaluated += 1
+            trace.append(
+                ({name: getattr(candidate, name) for name in names}, score)
+            )
+            if score > best_score:
+                best, best_score = candidate, score
+        assert best is not None
+        return TuningResult(
+            thresholds=best, f1=best_score, evaluated=evaluated, trace=trace
+        )

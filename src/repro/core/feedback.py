@@ -1,0 +1,163 @@
+"""Self-adaptive optimization loop (paper Section 7, "Limitations").
+
+The paper notes that "a self-adaptive system with a feedback loop that
+automatically implements the recommendations is possible" but leaves it to
+future work because enterprise changes need management approval.  This
+module implements that loop for the simulated substrate: analyze → apply →
+re-run, iterating until no new recommendation fires, a round stops
+improving, or the iteration budget runs out.
+
+An ``approval`` callback stands in for the management decision: it
+receives each recommendation and may veto it (e.g. vetoing endorsement-
+policy changes reproduces the enterprise constraint the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.contracts.registry import ContractFamily
+from repro.core.apply import apply_recommendations
+from repro.core.recommendations import OptimizationKind, Recommendation
+from repro.core.recommender import BlockOptR
+from repro.core.thresholds import Thresholds
+from repro.fabric.config import NetworkConfig
+from repro.fabric.network import run_workload
+from repro.fabric.results import RunResult
+from repro.fabric.transaction import TxRequest
+
+#: Approval callback: return False to veto a recommendation.
+ApprovalPolicy = Callable[[Recommendation], bool]
+
+
+def approve_all(recommendation: Recommendation) -> bool:
+    """The permissive default: every recommendation is implemented."""
+    del recommendation
+    return True
+
+
+def technical_only(recommendation: Recommendation) -> bool:
+    """Veto changes that need management sign-off in an enterprise.
+
+    Endorsement policies and business-process redesigns are governance
+    decisions (Section 7); contract and configuration changes are not.
+    """
+    return recommendation.kind not in (
+        OptimizationKind.ENDORSER_RESTRUCTURING,
+        OptimizationKind.ACTIVITY_REORDERING,
+        OptimizationKind.PROCESS_MODEL_PRUNING,
+    )
+
+
+@dataclass
+class FeedbackRound:
+    """One iteration of the loop."""
+
+    iteration: int
+    result: RunResult
+    recommended: list[OptimizationKind]
+    applied: list[OptimizationKind]
+    vetoed: list[OptimizationKind]
+
+    @property
+    def success_rate(self) -> float:
+        return self.result.success_rate
+
+
+@dataclass
+class FeedbackOutcome:
+    """Full history of a feedback-loop run."""
+
+    rounds: list[FeedbackRound]
+    converged: bool
+    final_config: NetworkConfig
+    final_requests: list[TxRequest] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.rounds[0].result
+
+    @property
+    def final(self) -> RunResult:
+        return self.rounds[-1].result
+
+    def improvement(self) -> float:
+        """Success-rate gain from first to last round (percentage points)."""
+        return (self.final.success_rate - self.baseline.success_rate) * 100.0
+
+
+class FeedbackLoop:
+    """Iterated analyze → approve → apply → re-run."""
+
+    def __init__(
+        self,
+        family: ContractFamily,
+        thresholds: Thresholds | None = None,
+        approval: ApprovalPolicy = approve_all,
+        max_iterations: int = 4,
+        min_gain: float = 0.002,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError(f"need at least one iteration, got {max_iterations}")
+        self.family = family
+        self.advisor = BlockOptR(thresholds)
+        self.approval = approval
+        self.max_iterations = max_iterations
+        #: Minimum success-rate gain per round to keep iterating.
+        self.min_gain = min_gain
+
+    def run(self, config: NetworkConfig, requests: list[TxRequest]) -> FeedbackOutcome:
+        """Run the loop to convergence or the iteration budget."""
+        applied_so_far: set[OptimizationKind] = set()
+        deployment = self.family.deploy()
+        rounds: list[FeedbackRound] = []
+        current_config, current_requests = config, list(requests)
+        current_deployment = deployment
+        converged = False
+
+        for iteration in range(self.max_iterations):
+            network, result = run_workload(
+                current_config, current_deployment.contracts, current_requests
+            )
+            report = self.advisor.analyze_network(network)
+            fresh = [
+                rec
+                for rec in report.recommendations
+                if rec.kind not in applied_so_far
+            ]
+            approved = [rec for rec in fresh if self.approval(rec)]
+            vetoed = [rec.kind for rec in fresh if not self.approval(rec)]
+            rounds.append(
+                FeedbackRound(
+                    iteration=iteration,
+                    result=result,
+                    recommended=sorted((r.kind for r in report.recommendations), key=lambda k: k.value),
+                    applied=[],
+                    vetoed=vetoed,
+                )
+            )
+            if not approved:
+                converged = True
+                break
+            if len(rounds) >= 2:
+                gain = rounds[-1].success_rate - rounds[-2].success_rate
+                if gain < self.min_gain:
+                    converged = True
+                    break
+            outcome = apply_recommendations(
+                approved, current_config, self.family, current_requests
+            )
+            rounds[-1].applied = list(outcome.applied)
+            applied_so_far.update(outcome.applied)
+            applied_so_far.update(outcome.skipped)  # don't retry unsupported swaps
+            current_config = outcome.config
+            current_requests = outcome.requests
+            current_deployment = outcome.deployment
+
+        return FeedbackOutcome(
+            rounds=rounds,
+            converged=converged,
+            final_config=current_config,
+            final_requests=current_requests,
+        )

@@ -1,0 +1,374 @@
+"""Metrics derivation from the blockchain log (paper Section 4.3).
+
+Computes every metric the paper defines — rate and failure distributions,
+block size, endorser/invoker significance, key frequency/significance,
+data-value correlation and (activity-based) proximity correlation — in a
+single pass framework over the ordered log, so the rule layer
+(:mod:`repro.core.rules`) only ever looks at precomputed values.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fabric.transaction import TxStatus, TxType
+from repro.logs.blockchain_log import BlockchainLog, LogRecord, slice_by_interval
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """A data-value correlation (corDV) pair: culprit ``y`` before failed ``x``.
+
+    ``distance`` is the proximity correlation corP in commit-order
+    positions; ``same_block`` classifies the failure as intra-block.
+    ``reorderable`` is Table 1's activity-reordering condition —
+    overlapping reads, disjoint write sets.
+    """
+
+    failed_order: int
+    culprit_order: int
+    failed_activity: str
+    culprit_activity: str
+    shared_keys: tuple[str, ...]
+    distance: int
+    same_block: bool
+    reorderable: bool
+
+
+def increment_delta(before: Any, after: Any) -> float | None:
+    """The numeric increment between two written values, if one exists.
+
+    Handles plain numbers and (recursively) dicts that are identical except
+    for exactly one numeric leaf — how the DRM ``play`` counter looks in
+    the write set.  Returns ``None`` when the values do not differ by a
+    single numeric step.
+    """
+    if isinstance(before, bool) or isinstance(after, bool):
+        return None
+    if isinstance(before, (int, float)) and isinstance(after, (int, float)):
+        return float(after) - float(before)
+    if isinstance(before, dict) and isinstance(after, dict):
+        if set(before) != set(after):
+            return None
+        delta: float | None = None
+        for key in before:
+            if before[key] == after[key]:
+                continue
+            step = increment_delta(before[key], after[key])
+            if step is None or delta is not None:
+                return None  # non-numeric change, or more than one changed leaf
+            delta = step
+        return delta
+    return None
+
+
+@dataclass
+class ActivityStats:
+    """Per-activity aggregates."""
+
+    total: int = 0
+    failures: int = 0
+    type_counts: Counter = field(default_factory=Counter)
+
+    def dominant_type(self) -> TxType | None:
+        """Most frequent type, or ``None`` if no transaction ever executed."""
+        if not self.type_counts:
+            return None
+        return self.type_counts.most_common(1)[0][0]
+
+    def minority_types(self) -> dict[TxType, int]:
+        """Counts of every type other than the dominant one."""
+        dominant = self.dominant_type()
+        if dominant is None:
+            return {}
+        return {t: c for t, c in self.type_counts.items() if t is not dominant}
+
+
+@dataclass
+class LogMetrics:
+    """Everything Section 4.3 derives from one blockchain log."""
+
+    total_transactions: int
+    duration: float
+    # (1) rate metrics
+    tr: float
+    trd: list[float]
+    # (2) failure metrics
+    total_failures: int
+    tfr: float
+    failure_counts: dict[TxStatus, int]
+    frd: list[float]
+    # (3) block size
+    bcount: int
+    btimeout: float
+    bsize_avg: float
+    # (4) endorser significance
+    edsig: dict[str, int]
+    edsig_org: dict[str, int]
+    # (5) invoker significance
+    ivsig: dict[str, int]
+    ivsig_org: dict[str, int]
+    # (6) key frequency / significance / hotkeys
+    kfreq: dict[str, int]
+    ksig: dict[str, int]
+    ksig_failed: dict[str, int]
+    key_failed_activities: dict[str, frozenset[str]]
+    hotkeys: list[str]
+    # (7)+(8) correlations
+    conflict_pairs: list[ConflictPair]
+    corpa: dict[str, list[int]]
+    # derived evidence
+    activity_stats: dict[str, ActivityStats]
+    delta_candidates: dict[str, int]
+    mvcc_failures: int
+    reorderable_mvcc: int
+    reorderable_activity_pairs: list[tuple[str, str]]
+    self_dependent_activities: list[str]
+    intra_block_pairs: int
+    endorsement_policy: str
+
+    def mean_interval_rate(self) -> float:
+        return sum(self.trd) / len(self.trd) if self.trd else 0.0
+
+
+def compute_metrics(
+    log: BlockchainLog,
+    interval_seconds: float | None = None,
+    hotkey_failure_share: float = 0.1,
+    hotkey_min_failures: int = 20,
+) -> LogMetrics:
+    """Derive all Section 4.3 metrics from ``log``.
+
+    The hotkey thresholds are passed in (rather than read from
+    :class:`~repro.core.thresholds.Thresholds`) so the metric layer stays
+    independent of the rule layer.
+    """
+    records = list(log.records)
+    total = len(records)
+    ins = interval_seconds if interval_seconds is not None else log.interval_seconds
+
+    duration = log.duration()
+    tr = total / duration if duration > 0 else float(total)
+
+    slices = slice_by_interval(log, ins)
+    trd = [s.count / ins for s in slices]
+    frd = [sum(1 for r in s.records if r.is_failure) / ins for s in slices]
+
+    failure_counts: dict[TxStatus, int] = Counter()
+    edsig: Counter = Counter()
+    edsig_org: Counter = Counter()
+    ivsig: Counter = Counter()
+    ivsig_org: Counter = Counter()
+    ksig_sets: dict[str, set[str]] = {}
+    kfreq: Counter = Counter()
+    key_failed_activity_counts: dict[str, Counter] = {}
+    activity_stats: dict[str, ActivityStats] = {}
+    block_sizes: Counter = Counter()
+
+    for record in records:
+        stats = activity_stats.setdefault(record.activity, ActivityStats())
+        stats.total += 1
+        # Transactions that never executed (all endorsements timed out)
+        # have an empty read-write set; their derived type is an artifact
+        # and must not feed the pruning detector.
+        if record.rw_keys or record.range_reads:
+            stats.type_counts[record.tx_type] += 1
+        if record.is_failure:
+            stats.failures += 1
+            failure_counts[record.status] += 1
+            for key in record.rw_keys:
+                kfreq[key] += 1
+                key_failed_activity_counts.setdefault(key, Counter())[record.activity] += 1
+        for endorser in record.endorsers:
+            edsig[endorser] += 1
+            edsig_org[endorser.rpartition("-peer")[0]] += 1
+        ivsig[record.invoker] += 1
+        ivsig_org[record.invoker_org] += 1
+        for key in record.rw_keys:
+            ksig_sets.setdefault(key, set()).add(record.activity)
+        if record.block_number >= 0:
+            block_sizes[record.block_number] += 1
+
+    total_failures = sum(failure_counts.values())
+    bsize_avg = (
+        sum(block_sizes.values()) / len(block_sizes) if block_sizes else 0.0
+    )
+
+    hot_cut = max(hotkey_min_failures, hotkey_failure_share * total_failures)
+    hotkeys = sorted(
+        (key for key, count in kfreq.items() if count >= hot_cut),
+        key=lambda key: (-kfreq[key], key),
+    )
+
+    conflict_pairs = _conflict_pairs(records, bsize_avg)
+    corpa = _activity_proximity(records)
+    delta_candidates = _delta_candidates(records)
+
+    mvcc_like = {TxStatus.MVCC_CONFLICT, TxStatus.PHANTOM_CONFLICT}
+    mvcc_failures = sum(failure_counts.get(status, 0) for status in mvcc_like)
+    reorderable = [pair for pair in conflict_pairs if pair.reorderable]
+    reorderable_pairs = sorted(
+        {(p.failed_activity, p.culprit_activity) for p in reorderable}
+    )
+    self_dependent = sorted(
+        {
+            p.failed_activity
+            for p in conflict_pairs
+            if p.failed_activity == p.culprit_activity and not p.reorderable
+        }
+    )
+
+    return LogMetrics(
+        total_transactions=total,
+        duration=duration,
+        tr=tr,
+        trd=trd,
+        total_failures=total_failures,
+        tfr=total_failures / total if total else 0.0,
+        failure_counts=dict(failure_counts),
+        frd=frd,
+        bcount=log.config.block_count,
+        btimeout=log.config.block_timeout,
+        bsize_avg=bsize_avg,
+        edsig=dict(edsig),
+        edsig_org=dict(edsig_org),
+        ivsig=dict(ivsig),
+        ivsig_org=dict(ivsig_org),
+        kfreq=dict(kfreq),
+        ksig={key: len(acts) for key, acts in ksig_sets.items()},
+        ksig_failed={
+            key: len(_significant_activities(counts))
+            for key, counts in key_failed_activity_counts.items()
+        },
+        key_failed_activities={
+            key: frozenset(_significant_activities(counts))
+            for key, counts in key_failed_activity_counts.items()
+        },
+        hotkeys=hotkeys,
+        conflict_pairs=conflict_pairs,
+        corpa=corpa,
+        activity_stats=activity_stats,
+        delta_candidates=delta_candidates,
+        mvcc_failures=mvcc_failures,
+        reorderable_mvcc=len(reorderable),
+        reorderable_activity_pairs=reorderable_pairs,
+        self_dependent_activities=self_dependent,
+        intra_block_pairs=sum(1 for p in conflict_pairs if p.same_block),
+        endorsement_policy=log.config.endorsement_policy,
+    )
+
+
+#: An activity must account for at least this share of a key's failures to
+#: count toward the key's failed-activity significance (filters one-off
+#: accesses like the single seeResults transaction in the voting use case).
+SIGNIFICANT_ACTIVITY_SHARE = 0.05
+
+
+def _significant_activities(counts: Counter) -> list[str]:
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    return [
+        activity
+        for activity, count in counts.items()
+        if count / total >= SIGNIFICANT_ACTIVITY_SHARE
+    ]
+
+
+def _conflict_pairs(records: list[LogRecord], bsize_avg: float) -> list[ConflictPair]:
+    """corDV pairs: for each MVCC/phantom failure, the latest successful
+    transaction that wrote one of its read keys."""
+    del bsize_avg
+    last_writer: dict[str, LogRecord] = {}
+    written_keys_sorted: list[str] = []
+    pairs: list[ConflictPair] = []
+    mvcc_like = {TxStatus.MVCC_CONFLICT, TxStatus.PHANTOM_CONFLICT}
+    for record in records:
+        if record.status in mvcc_like:
+            culprit: LogRecord | None = None
+            shared: list[str] = []
+            for key in record.read_keys:
+                writer = last_writer.get(key)
+                if writer is None:
+                    continue
+                if culprit is None or writer.commit_order > culprit.commit_order:
+                    culprit = writer
+            if record.status is TxStatus.PHANTOM_CONFLICT:
+                # A phantom's culprit may have written a *new* key inside
+                # the scanned range, absent from the recorded read set.
+                for start, end in record.range_reads:
+                    lo = bisect.bisect_left(written_keys_sorted, start)
+                    hi = bisect.bisect_left(written_keys_sorted, end)
+                    for key in written_keys_sorted[lo:hi]:
+                        writer = last_writer[key]
+                        if culprit is None or writer.commit_order > culprit.commit_order:
+                            culprit = writer
+            if culprit is not None:
+                culprit_writes = set(culprit.write_keys)
+                shared = sorted(set(record.read_keys) & culprit_writes)
+                disjoint_writes = not (set(record.write_keys) & culprit_writes)
+                pairs.append(
+                    ConflictPair(
+                        failed_order=record.commit_order,
+                        culprit_order=culprit.commit_order,
+                        failed_activity=record.activity,
+                        culprit_activity=culprit.activity,
+                        shared_keys=tuple(shared),
+                        distance=record.commit_order - culprit.commit_order,
+                        same_block=record.block_number == culprit.block_number,
+                        reorderable=disjoint_writes,
+                    )
+                )
+        if record.status is TxStatus.SUCCESS:
+            for key in record.write_keys:
+                if key not in last_writer:
+                    bisect.insort(written_keys_sorted, key)
+                last_writer[key] = record
+    return pairs
+
+
+def _activity_proximity(records: list[LogRecord]) -> dict[str, list[int]]:
+    """corPA: commit-order distances between consecutive same-activity txs."""
+    last_seen: dict[str, int] = {}
+    distances: dict[str, list[int]] = {}
+    for record in records:
+        if record.activity in last_seen:
+            distances.setdefault(record.activity, []).append(
+                record.commit_order - last_seen[record.activity]
+            )
+        last_seen[record.activity] = record.commit_order
+    return distances
+
+
+def _delta_candidates(records: list[LogRecord]) -> dict[str, int]:
+    """Table 1 delta-write condition, counted per activity.
+
+    A failed MVCC transaction ``x`` with a single-key write is an
+    increment/decrement in disguise when its written value is exactly one
+    numeric step away from the value written by the transaction that
+    created the version ``x`` read — i.e. ``x`` computed ``old + 1``.
+    Such updates can be rewritten as blind writes to unique delta keys.
+    """
+    # Index successful writers by the state version their write created.
+    by_version: dict[tuple[str, int, int], LogRecord] = {}
+    candidates: Counter = Counter()
+    for record in records:
+        if (
+            record.status is TxStatus.MVCC_CONFLICT
+            and len(record.write_keys) == 1
+        ):
+            key = record.write_keys[0]
+            version = record.read_versions.get(key)
+            if version is not None:
+                writer = by_version.get((key, version[0], version[1]))
+                if writer is not None:
+                    step = increment_delta(writer.writes[key], record.writes[key])
+                    if step is not None and abs(step) == 1.0:
+                        candidates[record.activity] += 1
+        if record.status is TxStatus.SUCCESS:
+            for key in record.write_keys:
+                by_version[(key, record.block_number, record.block_position)] = record
+    return dict(candidates)

@@ -1,0 +1,69 @@
+"""Recommendation types: the nine optimizations at three levels (Figure 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Level(enum.Enum):
+    """Abstraction level of a recommendation (paper Figure 1)."""
+
+    USER = "user"
+    DATA = "data"
+    SYSTEM = "system"
+
+
+class OptimizationKind(enum.Enum):
+    """The nine optimizations of Table 1."""
+
+    ACTIVITY_REORDERING = "activity_reordering"
+    PROCESS_MODEL_PRUNING = "process_model_pruning"
+    TRANSACTION_RATE_CONTROL = "transaction_rate_control"
+    DELTA_WRITES = "delta_writes"
+    SMART_CONTRACT_PARTITIONING = "smart_contract_partitioning"
+    DATA_MODEL_ALTERATION = "data_model_alteration"
+    BLOCK_SIZE_ADAPTATION = "block_size_adaptation"
+    ENDORSER_RESTRUCTURING = "endorser_restructuring"
+    CLIENT_RESOURCE_BOOST = "client_resource_boost"
+
+    @property
+    def level(self) -> Level:
+        return _LEVELS[self]
+
+
+_LEVELS = {
+    OptimizationKind.ACTIVITY_REORDERING: Level.USER,
+    OptimizationKind.PROCESS_MODEL_PRUNING: Level.USER,
+    OptimizationKind.TRANSACTION_RATE_CONTROL: Level.USER,
+    OptimizationKind.DELTA_WRITES: Level.DATA,
+    OptimizationKind.SMART_CONTRACT_PARTITIONING: Level.DATA,
+    OptimizationKind.DATA_MODEL_ALTERATION: Level.DATA,
+    OptimizationKind.BLOCK_SIZE_ADAPTATION: Level.SYSTEM,
+    OptimizationKind.ENDORSER_RESTRUCTURING: Level.SYSTEM,
+    OptimizationKind.CLIENT_RESOURCE_BOOST: Level.SYSTEM,
+}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One detected optimization opportunity.
+
+    ``evidence`` holds the metric values that satisfied the necessary
+    condition (for the user-facing report); ``actions`` holds machine-
+    applicable parameters the optimization applier consumes, e.g.
+    ``{"block_count": 297}`` or ``{"front": ("read",), "back": ()}``.
+    """
+
+    kind: OptimizationKind
+    rationale: str
+    evidence: dict[str, Any] = field(default_factory=dict)
+    actions: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def level(self) -> Level:
+        return self.kind.level
+
+    def describe(self) -> str:
+        return f"[{self.level.value}] {self.kind.value}: {self.rationale}"

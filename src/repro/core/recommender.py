@@ -1,0 +1,122 @@
+"""The BlockOptR workflow (paper Figure 5).
+
+``Fabric network -> blockchain data preprocessing -> metrics derivation /
+event log generation -> process model generation -> optimization
+recommendation``.  :class:`BlockOptR` runs the whole pipeline over a
+ledger, an exported log file, or a live :class:`~repro.fabric.FabricNetwork`
+and returns a single :class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.metrics import LogMetrics, compute_metrics
+from repro.core.recommendations import Level, OptimizationKind, Recommendation
+from repro.core.rules import evaluate_rules
+from repro.core.thresholds import Thresholds
+from repro.fabric.ledger import Ledger
+from repro.fabric.network import FabricNetwork
+from repro.logs.blockchain_log import BlockchainLog
+from repro.logs.eventlog import EventLog
+from repro.logs.export import log_from_csv, log_from_json
+from repro.logs.extract import extract_blockchain_log
+from repro.mining.dfg import DirectlyFollowsGraph
+from repro.mining.footprint import FootprintMatrix
+from repro.mining.heuristics import DependencyGraph, heuristics_miner
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one BlockOptR run produces."""
+
+    log: BlockchainLog
+    metrics: LogMetrics
+    recommendations: list[Recommendation]
+    event_log: EventLog
+    dfg: DirectlyFollowsGraph
+    dependency_graph: DependencyGraph
+    footprint: FootprintMatrix
+
+    def by_level(self, level: Level) -> list[Recommendation]:
+        return [rec for rec in self.recommendations if rec.level is level]
+
+    def recommended_kinds(self) -> set[OptimizationKind]:
+        return {rec.kind for rec in self.recommendations}
+
+    def recommends(self, kind: OptimizationKind) -> bool:
+        return kind in self.recommended_kinds()
+
+    def get(self, kind: OptimizationKind) -> Recommendation:
+        for rec in self.recommendations:
+            if rec.kind is kind:
+                return rec
+        raise KeyError(f"{kind.value} was not recommended")
+
+
+class BlockOptR:
+    """The automated optimization recommendation tool."""
+
+    def __init__(
+        self,
+        thresholds: Thresholds | None = None,
+        case_attribute: str | None = None,
+        dependency_threshold: float = 0.7,
+    ) -> None:
+        self.thresholds = thresholds or Thresholds()
+        #: Force a CaseID attribute instead of the automated derivation.
+        self.case_attribute = case_attribute
+        self.dependency_threshold = dependency_threshold
+
+    # -- entry points ------------------------------------------------------------
+
+    def analyze_network(self, network: FabricNetwork) -> AnalysisReport:
+        """Analyze a just-run simulated network (reads its ledger)."""
+        log = extract_blockchain_log(
+            network, interval_seconds=self.thresholds.interval_seconds
+        )
+        return self.analyze_log(log)
+
+    def analyze_ledger(self, ledger: Ledger) -> AnalysisReport:
+        log = extract_blockchain_log(
+            ledger, interval_seconds=self.thresholds.interval_seconds
+        )
+        return self.analyze_log(log)
+
+    def analyze_file(self, path: str | Path) -> AnalysisReport:
+        """Analyze an exported log (.csv or .json)."""
+        path = Path(path)
+        if path.suffix == ".csv":
+            log = log_from_csv(path)
+        elif path.suffix == ".json":
+            log = log_from_json(path)
+        else:
+            raise ValueError(f"unsupported log format {path.suffix!r}")
+        return self.analyze_log(log)
+
+    def analyze_log(self, log: BlockchainLog) -> AnalysisReport:
+        """The Figure 5 pipeline over a preprocessed blockchain log."""
+        metrics = compute_metrics(
+            log,
+            interval_seconds=self.thresholds.interval_seconds,
+            hotkey_failure_share=self.thresholds.hotkey_failure_share,
+            hotkey_min_failures=self.thresholds.hotkey_min_failures,
+        )
+        recommendations = evaluate_rules(metrics, self.thresholds)
+        event_log = EventLog.from_blockchain_log(log, case_attribute=self.case_attribute)
+        traces = event_log.traces()
+        dfg = DirectlyFollowsGraph.from_traces(traces)
+        dependency_graph = heuristics_miner(
+            traces, dependency_threshold=self.dependency_threshold
+        )
+        footprint = FootprintMatrix.from_dfg(dfg)
+        return AnalysisReport(
+            log=log,
+            metrics=metrics,
+            recommendations=recommendations,
+            event_log=event_log,
+            dfg=dfg,
+            dependency_graph=dependency_graph,
+            footprint=footprint,
+        )

@@ -1,0 +1,74 @@
+"""Human-readable rendering of an analysis report."""
+
+from __future__ import annotations
+
+from repro.core.recommendations import Level
+from repro.core.recommender import AnalysisReport
+
+_LEVEL_TITLES = {
+    Level.USER: "User level",
+    Level.DATA: "Data level",
+    Level.SYSTEM: "System level",
+}
+
+
+def render_report(
+    report: AnalysisReport, include_model: bool = True, include_insights: bool = False
+) -> str:
+    """Render the analysis as the text report the BlockOptR tool prints.
+
+    ``include_insights`` appends the conflict-structure appendix
+    (:mod:`repro.core.insights`): inter/intra-block shares, conflict
+    distances, and the suggested system-level scheduler.
+    """
+    metrics = report.metrics
+    lines = [
+        "BlockOptR analysis",
+        "==================",
+        f"transactions: {metrics.total_transactions}  "
+        f"duration: {metrics.duration:.1f}s  rate: {metrics.tr:.1f} TPS",
+        f"failures: {metrics.total_failures} ({metrics.tfr:.1%})  "
+        + "  ".join(
+            f"{status.value}={count}"
+            for status, count in sorted(
+                metrics.failure_counts.items(), key=lambda item: item[0].value
+            )
+        ),
+        f"block config: count={metrics.bcount} timeout={metrics.btimeout}s  "
+        f"observed avg block size: {metrics.bsize_avg:.1f}",
+        f"endorsement policy: {metrics.endorsement_policy}",
+        f"hotkeys: {metrics.hotkeys if metrics.hotkeys else 'none'}",
+        "",
+    ]
+
+    if not report.recommendations:
+        lines.append("No optimizations recommended.")
+    for level in (Level.USER, Level.DATA, Level.SYSTEM):
+        recs = report.by_level(level)
+        if not recs:
+            continue
+        lines.append(f"{_LEVEL_TITLES[level]} recommendations")
+        lines.append("-" * len(lines[-1]))
+        for rec in recs:
+            lines.append(f"* {rec.kind.value}: {rec.rationale}")
+            if rec.actions:
+                lines.append(f"    suggested settings: {rec.actions}")
+        lines.append("")
+
+    if include_model:
+        lines.append("Derived process model (dependency edges)")
+        lines.append("----------------------------------------")
+        derivation = report.event_log.derivation
+        lines.append(
+            f"case attribute: {derivation.attribute} "
+            f"(coverage {derivation.coverage:.0%}, {derivation.distinct_values} cases)"
+        )
+        for a, b in sorted(report.dependency_graph.edges):
+            lines.append(f"  {a} -> {b}")
+
+    if include_insights:
+        from repro.core.insights import derive_insights, render_insights
+
+        lines.append("")
+        lines.append(render_insights(derive_insights(report.metrics)))
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Network, organization, and timing configuration.
+
+``TimingConfig`` holds the calibrated service times of each pipeline stage.
+The constants were tuned (see ``benchmarks/``, EXPERIMENTS.md) so that the
+simulated network saturates in the 150-250 TPS band of the paper's testbed
+and reproduces its qualitative behaviours: endorser bottlenecks under
+mandatory-org policies, orderer collapse with tiny blocks, timeout-bound
+latency with oversized blocks, and MVCC conflict growth with backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Service times (seconds) and delays for every pipeline stage.
+
+    Calibration (see EXPERIMENTS.md): the *client proposal* stage is the
+    default bottleneck at 300 TPS — matching the Fabric/Caliper stack,
+    where backlog accumulates before chaincode execution, so the
+    execute-to-commit staleness window stays small and success rates stay
+    high even at multi-second latencies.  Endorsers saturate only under
+    mandatory-org policies (P1/P2+skew), which adds latency but not
+    staleness — reproducing Figure 7's high-latency, high-success runs.
+    The large per-block ordering cost (Raft round + assembly +
+    dissemination) is what makes small block counts collapse (Figure 9).
+    """
+
+    #: Client work to build/sign one transaction proposal (Caliper worker).
+    client_per_tx: float = 0.014
+    #: Client packaging cost per endorsement response to verify; the total
+    #: packaging time is ``(1 + num_endorsements) * package_per_endorsement``.
+    package_per_endorsement: float = 0.0005
+    #: Chaincode execution + signing on an endorsing peer, per transaction.
+    endorse_per_tx: float = 0.003
+    #: One-way network delay between any two components.
+    network_delay: float = 0.002
+    #: Ordering-service cost per block (Raft round + block assembly).
+    order_per_block: float = 0.4
+    #: Ordering-service cost per transaction within a block.
+    order_per_tx: float = 0.001
+    #: Validation pipeline cost per transaction (signature + MVCC check).
+    validate_per_tx: float = 0.0022
+    #: Per-block commit cost on the validating peer.
+    commit_per_block: float = 0.03
+    #: How long a client waits for an endorser before giving up on it.
+    endorse_timeout: float = 8.0
+
+    def scaled(self, factor: float) -> "TimingConfig":
+        """A copy with every service time multiplied by ``factor``."""
+        return TimingConfig(
+            client_per_tx=self.client_per_tx * factor,
+            package_per_endorsement=self.package_per_endorsement * factor,
+            endorse_per_tx=self.endorse_per_tx * factor,
+            network_delay=self.network_delay * factor,
+            order_per_block=self.order_per_block * factor,
+            order_per_tx=self.order_per_tx * factor,
+            validate_per_tx=self.validate_per_tx * factor,
+            commit_per_block=self.commit_per_block * factor,
+            endorse_timeout=self.endorse_timeout,
+        )
+
+
+@dataclass
+class OrgConfig:
+    """One organization: its clients and endorsing peers."""
+
+    name: str
+    num_clients: int = 5
+    endorsers_per_org: int = 1
+
+    def client_names(self) -> list[str]:
+        return [f"{self.name}-client{i}" for i in range(self.num_clients)]
+
+    def endorser_names(self) -> list[str]:
+        return [f"{self.name}-peer{i}" for i in range(self.endorsers_per_org)]
+
+
+@dataclass
+class NetworkConfig:
+    """Complete configuration of a simulated Fabric network.
+
+    Block cutting follows Fabric's three conditions: a block is cut when the
+    buffered transaction count reaches ``block_count``, the oldest buffered
+    transaction is ``block_timeout`` seconds old, or the buffered payload
+    reaches ``block_bytes``.
+    """
+
+    orgs: list[OrgConfig] = field(default_factory=lambda: default_orgs(2))
+    endorsement_policy: str = "OutOf(1,Org1,Org2)"
+    block_count: int = 100
+    block_timeout: float = 1.0
+    block_bytes: int = 2 * 1024 * 1024
+    #: Zipf skew for how clients pick among policy alternatives; 0 = uniform.
+    endorser_selection_skew: float = 0.0
+    #: Ordering-stage scheduler: "fifo", "fabricpp" or "fabricsharp".
+    scheduler: str = "fifo"
+    #: Sliding-window (in blocks) for the FabricSharp-style scheduler.
+    scheduler_window: int = 5
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.block_count < 1:
+            raise ValueError(f"block_count must be >= 1, got {self.block_count}")
+        if self.block_timeout <= 0:
+            raise ValueError(f"block_timeout must be positive, got {self.block_timeout}")
+        if not self.orgs:
+            raise ValueError("need at least one organization")
+        names = [org.name for org in self.orgs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate organization names in {names}")
+
+    def org_names(self) -> list[str]:
+        return [org.name for org in self.orgs]
+
+    def org(self, name: str) -> OrgConfig:
+        for org in self.orgs:
+            if org.name == name:
+                return org
+        raise KeyError(f"unknown organization {name!r}")
+
+    def total_clients(self) -> int:
+        return sum(org.num_clients for org in self.orgs)
+
+    def with_policy(self, expression: str) -> "NetworkConfig":
+        """Copy with a new endorsement policy (a config-update transaction)."""
+        clone = self.copy()
+        clone.endorsement_policy = expression
+        return clone
+
+    def with_block_count(self, block_count: int) -> "NetworkConfig":
+        clone = self.copy()
+        clone.block_count = block_count
+        return clone
+
+    def copy(self) -> "NetworkConfig":
+        return NetworkConfig(
+            orgs=[replace(org) for org in self.orgs],
+            endorsement_policy=self.endorsement_policy,
+            block_count=self.block_count,
+            block_timeout=self.block_timeout,
+            block_bytes=self.block_bytes,
+            endorser_selection_skew=self.endorser_selection_skew,
+            scheduler=self.scheduler,
+            scheduler_window=self.scheduler_window,
+            timing=self.timing,
+            seed=self.seed,
+        )
+
+
+def default_orgs(n: int, num_clients: int = 5, endorsers_per_org: int = 1) -> list[OrgConfig]:
+    """``n`` organizations named Org1..OrgN with uniform resources."""
+    if n < 1:
+        raise ValueError(f"need at least one org, got {n}")
+    return [
+        OrgConfig(name=f"Org{i}", num_clients=num_clients, endorsers_per_org=endorsers_per_org)
+        for i in range(1, n + 1)
+    ]

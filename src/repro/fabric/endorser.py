@@ -1,0 +1,158 @@
+"""Endorsing peers and the endorsement phase.
+
+The client selects one alternative among the policy's minimal satisfying
+org sets (a Zipf-weighted choice: skew 0 spreads load evenly, high skew
+reproduces the paper's *endorser distribution skew* where clients always
+hit the same orgs).  Each selected org executes the chaincode on one of
+its peers; the read-write set is produced by whichever peer starts first,
+against the committed state at that instant — the staleness that later
+causes MVCC conflicts.
+
+If a peer's queue is longer than ``endorse_timeout``, the client gives up
+on that org: the transaction is submitted with a *missing endorsement* and
+fails policy validation — the mechanism behind endorsement-policy failures
+under endorser bottlenecks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fabric.chaincode import ChaincodeAbort, ChaincodeContext, Contract
+from repro.fabric.config import NetworkConfig
+from repro.fabric.policy import EndorsementPolicy
+from repro.fabric.state import StateDatabase
+from repro.fabric.transaction import Transaction
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Server
+from repro.sim.rng import SimRng, zipf_weights
+
+
+class EndorserPool:
+    """All endorsing peers, plus the endorsement orchestration logic."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: NetworkConfig,
+        policy: EndorsementPolicy,
+        state_db: StateDatabase,
+        contracts: dict[str, Contract],
+        rng: SimRng,
+    ) -> None:
+        self._kernel = kernel
+        self._timing = config.timing
+        self._policy = policy
+        self._state_db = state_db
+        self._contracts = contracts
+        self._rng = rng
+        self._selection_skew = config.endorser_selection_skew
+        self._peers_by_org: dict[str, list[Server]] = {}
+        for org in config.orgs:
+            self._peers_by_org[org.name] = [
+                Server(kernel, name) for name in org.endorser_names()
+            ]
+        self._alternatives = [
+            alt
+            for alt in policy.minimal_satisfying_sets()
+            if all(org in self._peers_by_org for org in alt)
+        ]
+        if not self._alternatives:
+            raise ValueError(
+                f"policy {policy.to_expression()} has no satisfiable alternative "
+                f"with orgs {sorted(self._peers_by_org)}"
+            )
+        self._weights = zipf_weights(len(self._alternatives), self._selection_skew)
+
+    def servers(self) -> list[Server]:
+        return [p for peers in self._peers_by_org.values() for p in peers]
+
+    def select_orgs(self) -> frozenset[str]:
+        """Choose the endorsing orgs for one transaction."""
+        index = int(
+            self._rng.stream("endorser-selection").choice(
+                len(self._alternatives), p=self._weights
+            )
+        )
+        return self._alternatives[index]
+
+    def _least_loaded_peer(self, org: str) -> Server:
+        peers = self._peers_by_org[org]
+        return min(peers, key=lambda p: p.busy_until)
+
+    def endorse(
+        self,
+        tx: Transaction,
+        on_done: Callable[[float], None],
+        on_abort: Callable[[float, str], None],
+    ) -> None:
+        """Run the endorsement phase for ``tx``.
+
+        Fills ``tx.endorsers`` / ``tx.missing_endorsements`` / ``tx.rwset``
+        and calls ``on_done(time)`` when the slowest endorsement returns to
+        the client, or ``on_abort(time, reason)`` if the chaincode
+        early-aborts the transaction (pruned contracts).
+        """
+        orgs = sorted(self.select_orgs())
+        endorsing: list[tuple[str, Server]] = []
+        missing: list[str] = []
+        for org in orgs:
+            peer = self._least_loaded_peer(org)
+            if peer.queue_delay() > self._timing.endorse_timeout:
+                missing.append(org)
+            else:
+                endorsing.append((org, peer))
+
+        tx.missing_endorsements = tuple(missing)
+        if not endorsing:
+            # Every selected org timed out; the client submits an envelope
+            # with no endorsements at all, doomed to a policy failure.
+            tx.endorsers = ()
+            self._kernel.schedule_in(self._timing.network_delay, lambda: on_done(self._kernel.now))
+            return
+
+        tx.endorsers = tuple(peer.name for _, peer in endorsing)
+        # The earliest-starting peer executes the chaincode and produces the
+        # read-write set (endorsers are deterministic, so one execution
+        # stands for all).
+        executor = min(endorsing, key=lambda item: item[1].busy_until)[1]
+        pending = len(endorsing)
+        aborted: list[str] = []
+        contract = self._contracts.get(tx.contract)
+        cost = contract.cost_factor(tx.activity) if contract is not None else 1.0
+        service_time = self._timing.endorse_per_tx * cost
+
+        def execute(start_time: float) -> None:
+            del start_time
+            try:
+                self._execute_chaincode(tx)
+            except ChaincodeAbort as abort:
+                aborted.append(str(abort))
+
+        def peer_done(finish_time: float) -> None:
+            nonlocal pending
+            pending -= 1
+            if pending > 0:
+                return
+            done_at = finish_time + self._timing.network_delay
+            if aborted:
+                self._kernel.schedule(done_at, lambda: on_abort(self._kernel.now, aborted[0]))
+            else:
+                self._kernel.schedule(done_at, lambda: on_done(self._kernel.now))
+
+        for _, peer in endorsing:
+            on_start = execute if peer is executor else None
+            peer.submit(service_time, peer_done, on_start=on_start)
+
+    def _execute_chaincode(self, tx: Transaction) -> None:
+        contract = self._contracts.get(tx.contract)
+        if contract is None:
+            raise ChaincodeAbort(f"unknown contract {tx.contract!r}")
+        ctx = ChaincodeContext(
+            state=self._state_db.namespace(tx.contract),
+            invoker=tx.invoker_client,
+            nonce=tx.tx_id,
+        )
+        contract.invoke(ctx, tx.activity, tx.args)
+        tx.rwset = ctx.rwset
+        tx.endorse_time = self._kernel.now

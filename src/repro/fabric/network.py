@@ -1,0 +1,231 @@
+"""End-to-end network orchestration.
+
+:class:`FabricNetwork` wires clients, endorsers, the ordering service and
+the validation pipeline onto one simulation kernel and drives a workload
+through the full execute-order-validate lifecycle:
+
+1. at its scheduled submit time a request occupies its client (proposal);
+2. the endorsement phase runs on the selected orgs' peers, snapshotting the
+   committed state at execution start;
+3. the client packages the endorsed envelope and submits it to ordering;
+4. the block cutter batches envelopes; each block costs ordering service
+   time, then validation + commit time, after which statuses are final and
+   the block — failures included — is on the ledger.
+
+The genesis block (block 0) carries a config transaction recording block
+count, block timeout and the endorsement policy, so that BlockOptR can
+later *extract the configuration from the ledger*, as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.chaincode import Contract
+from repro.fabric.client import ClientPool
+from repro.fabric.config import NetworkConfig
+from repro.fabric.endorser import EndorserPool
+from repro.fabric.ledger import Block, Ledger
+from repro.fabric.orderer import OrderingService
+from repro.fabric.policy import parse_policy
+from repro.fabric.reorder import make_scheduler
+from repro.fabric.results import RunResult, summarize_run
+from repro.fabric.state import StateDatabase
+from repro.fabric.transaction import Transaction, TxRequest, TxStatus
+from repro.fabric.validator import ValidationPipeline
+from repro.sim.kernel import Kernel
+from repro.sim.rng import SimRng
+
+
+class FabricNetwork:
+    """A simulated Fabric network ready to execute workloads."""
+
+    def __init__(self, config: NetworkConfig, contracts: list[Contract]) -> None:
+        if not contracts:
+            raise ValueError("a network needs at least one smart contract")
+        self.config = config
+        self.kernel = Kernel()
+        self.rng = SimRng(config.seed)
+        self.policy = parse_policy(config.endorsement_policy)
+        unknown = self.policy.organizations() - set(config.org_names())
+        if unknown:
+            raise ValueError(
+                f"policy references organizations missing from the network: {sorted(unknown)}"
+            )
+        self.state_db = StateDatabase()
+        self.ledger = Ledger()
+        self.contracts = {contract.name: contract for contract in contracts}
+        if len(self.contracts) != len(contracts):
+            raise ValueError("duplicate contract names")
+        for contract in contracts:
+            contract.setup(self.state_db.namespace(contract.name))
+
+        self.clients = ClientPool(self.kernel, config)
+        self.endorsers = EndorserPool(
+            self.kernel, config, self.policy, self.state_db, self.contracts, self.rng
+        )
+        self._scheduler = make_scheduler(config.scheduler, config.scheduler_window)
+        self.validator = ValidationPipeline(
+            self.kernel, config, self.policy, self.state_db, self.ledger
+        )
+        self.orderer = OrderingService(
+            self.kernel,
+            config,
+            self._scheduler,
+            deliver=self._deliver_block,
+            early_abort=self._record_early_abort,
+        )
+        self.aborted: list[Transaction] = []
+        self._tx_counter = 0
+        self._append_genesis()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _append_genesis(self) -> None:
+        config_tx = Transaction(
+            tx_id="config-0",
+            client_timestamp=0.0,
+            activity="__config__",
+            args=(
+                ("block_count", self.config.block_count),
+                ("block_timeout", self.config.block_timeout),
+                ("block_bytes", self.config.block_bytes),
+                ("endorsement_policy", self.config.endorsement_policy),
+            ),
+            contract="__channel__",
+            invoker_client="admin",
+            invoker_org="OrdererOrg",
+            is_config=True,
+            status=TxStatus.SUCCESS,
+            commit_time=0.0,
+            block_number=0,
+        )
+        genesis = Block(
+            number=0,
+            transactions=[config_tx],
+            previous_hash=Ledger.GENESIS_HASH,
+            cut_reason="genesis",
+            created_at=0.0,
+            committed_at=0.0,
+        )
+        self.ledger.append(genesis)
+
+    def _next_tx_id(self) -> str:
+        self._tx_counter += 1
+        return f"tx-{self._tx_counter:06d}"
+
+    # -- pipeline stages --------------------------------------------------------
+
+    def submit_request(self, request: TxRequest) -> None:
+        """Schedule ``request`` for execution at its submit time."""
+        self.kernel.schedule(request.submit_time, lambda: self._start_request(request))
+
+    def _start_request(self, request: TxRequest) -> None:
+        client = self.clients.assign(request.invoker_org)
+        tx = Transaction(
+            tx_id=self._next_tx_id(),
+            client_timestamp=self.kernel.now,
+            activity=request.activity,
+            args=tuple(request.args),
+            contract=request.contract,
+            invoker_client=client.name,
+            invoker_org=self.clients.org_of(client.name),
+        )
+
+        def proposal_done(finish: float) -> None:
+            del finish
+            self.kernel.schedule_in(
+                self.config.timing.network_delay, lambda: self._endorse(tx, client)
+            )
+
+        self.clients.propose(client, proposal_done)
+
+    def _endorse(self, tx: Transaction, client) -> None:
+        def endorsed(at: float) -> None:
+            del at
+
+            def packaged(finish: float) -> None:
+                del finish
+                self.kernel.schedule_in(
+                    self.config.timing.network_delay, lambda: self.orderer.submit(tx)
+                )
+
+            self.clients.package(client, len(tx.endorsers), packaged)
+
+        def aborted(at: float, reason: str) -> None:
+            del reason
+            tx.status = TxStatus.EARLY_ABORT
+            tx.abort_stage = "endorsement"
+            tx.commit_time = at
+            self.aborted.append(tx)
+
+        self.endorsers.endorse(tx, on_done=endorsed, on_abort=aborted)
+
+    def _record_early_abort(self, tx: Transaction, at: float) -> None:
+        tx.status = TxStatus.EARLY_ABORT
+        tx.abort_stage = "ordering"
+        tx.commit_time = at
+        self.aborted.append(tx)
+
+    def _deliver_block(self, transactions: list[Transaction], cut_reason: str, at: float) -> None:
+        del at
+        self.validator.receive_block(transactions, cut_reason)
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, requests: list[TxRequest]) -> RunResult:
+        """Execute a workload to completion and summarize it."""
+        if not requests:
+            raise ValueError("empty workload")
+        ordered = sorted(requests, key=lambda r: r.submit_time)
+        for request in ordered:
+            self.submit_request(request)
+        self.kernel.run()
+
+        committed = [tx for tx in self.ledger.transactions(include_config=False)]
+        accounted = len(committed) + len(self.aborted)
+        if accounted != len(requests):
+            raise RuntimeError(
+                f"transaction accounting mismatch: {accounted} finished "
+                f"of {len(requests)} issued"
+            )
+
+        first_submit = ordered[0].submit_time
+        last_commit = max(
+            (tx.commit_time for tx in committed if tx.commit_time is not None),
+            default=first_submit,
+        )
+        self._assign_commit_order()
+        return summarize_run(
+            ledger=self.ledger,
+            aborted=self.aborted,
+            first_submit=first_submit,
+            last_commit=last_commit,
+            cut_reasons=self.orderer.cut_reasons,
+            utilization=self._utilization(last_commit),
+        )
+
+    def _assign_commit_order(self) -> None:
+        order = 0
+        for tx in self.ledger.transactions(include_config=False):
+            tx.commit_order = order
+            order += 1
+
+    def _utilization(self, horizon: float) -> dict[str, float]:
+        stats: dict[str, float] = {}
+        for server in self.clients.servers() + self.endorsers.servers():
+            stats[server.name] = server.stats.utilization(horizon)
+        stats["orderer"] = self.orderer.server.stats.utilization(horizon)
+        stats["validator"] = self.validator.server.stats.utilization(horizon)
+        return stats
+
+
+def run_workload(
+    config: NetworkConfig, contracts: list[Contract], requests: list[TxRequest]
+) -> tuple[FabricNetwork, RunResult]:
+    """Build a fresh network, run ``requests``, return (network, result).
+
+    The paper restarts the Fabric network for every experiment; this helper
+    is that restart.
+    """
+    network = FabricNetwork(config, contracts)
+    result = network.run(requests)
+    return network, result

@@ -1,0 +1,104 @@
+"""Ordering service: block cutting and Raft-style consensus cost.
+
+Blocks are cut when any of Fabric's three conditions is met first —
+transaction *count*, *timeout* since the first buffered transaction, or
+buffered *bytes*.  Each cut block then occupies the ordering service for a
+per-block cost (Raft round, block assembly) plus a per-transaction cost,
+so configurations that cut many small blocks saturate the orderer — the
+failure mode behind the paper's *block size adaptation* recommendation.
+
+An optional :mod:`repro.fabric.reorder` scheduler rewrites each batch
+before it becomes a block (Fabric++ / FabricSharp).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fabric.config import NetworkConfig
+from repro.fabric.reorder import Scheduler
+from repro.fabric.transaction import Transaction
+from repro.sim.kernel import Event, Kernel
+from repro.sim.resources import Server
+
+
+class OrderingService:
+    """Buffers envelopes, cuts blocks, and hands ordered batches downstream."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: NetworkConfig,
+        scheduler: Scheduler,
+        deliver: Callable[[list[Transaction], str, float], None],
+        early_abort: Callable[[Transaction, float], None],
+    ) -> None:
+        self._kernel = kernel
+        self._config = config
+        self._timing = config.timing
+        self._scheduler = scheduler
+        self._deliver = deliver
+        self._early_abort = early_abort
+        self._server = Server(kernel, "orderer")
+        self._buffer: list[Transaction] = []
+        self._buffer_bytes = 0
+        self._timeout_event: Event | None = None
+        self.blocks_cut = 0
+        self.cut_reasons: dict[str, int] = {"count": 0, "timeout": 0, "bytes": 0}
+
+    @property
+    def server(self) -> Server:
+        return self._server
+
+    def submit(self, tx: Transaction) -> None:
+        """An envelope arrives from a client."""
+        tx.order_time = self._kernel.now
+        self._buffer.append(tx)
+        self._buffer_bytes += tx.estimated_bytes()
+        if len(self._buffer) == 1:
+            self._arm_timeout()
+        if len(self._buffer) >= self._config.block_count:
+            self._cut("count")
+        elif self._buffer_bytes >= self._config.block_bytes:
+            self._cut("bytes")
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def _arm_timeout(self) -> None:
+        self._timeout_event = self._kernel.schedule_in(
+            self._config.block_timeout, self._on_timeout
+        )
+
+    def _on_timeout(self) -> None:
+        if self._buffer:
+            self._cut("timeout")
+
+    def _cut(self, reason: str) -> None:
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        batch = self._buffer
+        self._buffer = []
+        self._buffer_bytes = 0
+
+        ordered, aborts = self._scheduler.schedule(batch)
+        now = self._kernel.now
+        for tx in aborts:
+            self._early_abort(tx, now)
+        if not ordered:
+            # The scheduler aborted the whole batch; Fabric never emits
+            # empty blocks.
+            return
+        self.blocks_cut += 1
+        self.cut_reasons[reason] = self.cut_reasons.get(reason, 0) + 1
+
+        service = self._timing.order_per_block + self._timing.order_per_tx * len(ordered)
+
+        def on_done(finish: float) -> None:
+            deliver_at = finish + self._timing.network_delay
+            self._kernel.schedule(
+                deliver_at, lambda: self._deliver(ordered, reason, self._kernel.now)
+            )
+
+        self._server.submit(service, on_done)

@@ -1,0 +1,33 @@
+"""Blockchain log pipeline (paper Sections 4.1-4.2).
+
+``extract`` reads the ledger of a simulated network, drops configuration
+transactions, and produces the nine-attribute :class:`BlockchainLog`;
+``export`` round-trips it through CSV/JSON (the preprocessed log the
+paper releases for process-mining research); ``eventlog`` derives CaseIDs
+from a common element and yields the traces process mining consumes.
+"""
+
+from repro.logs.blockchain_log import BlockchainLog, ChannelConfig, LogRecord
+from repro.logs.eventlog import CaseIdDerivation, Event, EventLog, derive_case_attribute
+from repro.logs.export import (
+    log_from_csv,
+    log_from_json,
+    log_to_csv,
+    log_to_json,
+)
+from repro.logs.extract import extract_blockchain_log
+
+__all__ = [
+    "BlockchainLog",
+    "CaseIdDerivation",
+    "ChannelConfig",
+    "Event",
+    "EventLog",
+    "LogRecord",
+    "derive_case_attribute",
+    "extract_blockchain_log",
+    "log_from_csv",
+    "log_from_json",
+    "log_to_csv",
+    "log_to_json",
+]

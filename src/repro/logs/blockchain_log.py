@@ -1,0 +1,147 @@
+"""The blockchain log: nine attributes per transaction (Section 4.1).
+
+The preprocessed output of BlockOptR's data-preprocessing step.  Each
+:class:`LogRecord` carries exactly the attributes the paper enumerates —
+client timestamp, activity name, function arguments, endorsers, invoker,
+read-write set, transaction status, derived transaction type, and commit
+order — plus the block number needed for the block-size metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.fabric.transaction import TxStatus, TxType
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Channel configuration recovered from config transactions."""
+
+    block_count: int
+    block_timeout: float
+    block_bytes: int
+    endorsement_policy: str
+
+
+@dataclass
+class LogRecord:
+    """One transaction's entry in the blockchain log."""
+
+    commit_order: int
+    tx_id: str
+    client_timestamp: float
+    activity: str
+    args: tuple[Any, ...]
+    endorsers: tuple[str, ...]
+    invoker: str
+    invoker_org: str
+    read_keys: tuple[str, ...]
+    write_keys: tuple[str, ...]
+    #: Written values, keyed like ``write_keys`` (needed by the delta-write
+    #: detector: WS(x) +/- 1 == WS(y)).
+    writes: dict[str, Any]
+    #: Read versions as (block, tx) pairs, keyed like ``read_keys``.
+    read_versions: dict[str, tuple[int, int]]
+    #: Range-read bounds [start, end) (empty for non-range transactions);
+    #: needed to attribute phantom conflicts to inserting/deleting writers.
+    range_reads: tuple[tuple[str, str], ...]
+    status: TxStatus
+    tx_type: TxType
+    block_number: int
+    #: Position within the block; (block_number, block_position) is the
+    #: state version a successful write created.
+    block_position: int
+    commit_time: float
+    contract: str = "contract"
+
+    @property
+    def rw_keys(self) -> frozenset[str]:
+        """RWS(x): all keys accessed by the transaction."""
+        return frozenset(self.read_keys) | frozenset(self.write_keys)
+
+    @property
+    def is_failure(self) -> bool:
+        return self.status.is_failure
+
+
+@dataclass
+class BlockchainLog:
+    """The cleaned, ordered blockchain log plus channel configuration."""
+
+    records: list[LogRecord]
+    config: ChannelConfig
+    #: Interval size (seconds) used by the distribution metrics; the
+    #: paper's user-configurable ``ins``.
+    interval_seconds: float = 1.0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)
+
+    def activities(self) -> list[str]:
+        """Distinct activity names, sorted."""
+        return sorted({record.activity for record in self.records})
+
+    def failed(self) -> list[LogRecord]:
+        return [record for record in self.records if record.is_failure]
+
+    def by_status(self, status: TxStatus) -> list[LogRecord]:
+        return [record for record in self.records if record.status is status]
+
+    def duration(self) -> float:
+        """Span of client timestamps covered by the log."""
+        if not self.records:
+            return 0.0
+        stamps = [record.client_timestamp for record in self.records]
+        return max(stamps) - min(stamps)
+
+    def validate(self) -> None:
+        """Sanity-check invariants; raises ``ValueError`` on violation."""
+        last_order = -1
+        for record in self.records:
+            if record.commit_order <= last_order:
+                raise ValueError(
+                    f"commit order not strictly increasing at tx {record.tx_id}"
+                )
+            last_order = record.commit_order
+            missing = set(record.writes) - set(record.write_keys)
+            if missing:
+                raise ValueError(f"write values without keys in tx {record.tx_id}: {missing}")
+
+
+@dataclass
+class LogSlice:
+    """Records of one time interval (used by the distribution metrics)."""
+
+    index: int
+    start: float
+    end: float
+    records: list[LogRecord] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+
+def slice_by_interval(log: BlockchainLog, interval_seconds: float | None = None) -> list[LogSlice]:
+    """Partition the log into client-timestamp intervals of ``ins`` seconds."""
+    ins = interval_seconds if interval_seconds is not None else log.interval_seconds
+    if ins <= 0:
+        raise ValueError(f"interval must be positive, got {ins}")
+    if not log.records:
+        return []
+    start = min(record.client_timestamp for record in log.records)
+    end = max(record.client_timestamp for record in log.records)
+    count = max(1, int((end - start) / ins) + 1)
+    slices = [
+        LogSlice(index=i, start=start + i * ins, end=start + (i + 1) * ins)
+        for i in range(count)
+    ]
+    for record in log.records:
+        index = min(int((record.client_timestamp - start) / ins), count - 1)
+        slices[index].records.append(record)
+    return slices

@@ -1,0 +1,172 @@
+"""CSV/JSON round-trip for blockchain logs.
+
+The paper's preprocessing step saves the chain as JSON and converts the
+cleaned log to CSV; these functions reproduce both formats so that
+exported logs can be re-analyzed (or shared) without the simulator.
+Structured cells (args, read-write sets) are JSON-encoded inside the CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.fabric.transaction import TxStatus, TxType
+from repro.logs.blockchain_log import BlockchainLog, ChannelConfig, LogRecord
+
+#: CSV column order; stable so downstream tooling can rely on it.
+CSV_COLUMNS = (
+    "commit_order",
+    "tx_id",
+    "client_timestamp",
+    "activity",
+    "args",
+    "endorsers",
+    "invoker",
+    "invoker_org",
+    "read_keys",
+    "write_keys",
+    "writes",
+    "read_versions",
+    "range_reads",
+    "status",
+    "tx_type",
+    "block_number",
+    "block_position",
+    "commit_time",
+    "contract",
+)
+
+
+def _record_to_dict(record: LogRecord) -> dict[str, Any]:
+    return {
+        "commit_order": record.commit_order,
+        "tx_id": record.tx_id,
+        "client_timestamp": record.client_timestamp,
+        "activity": record.activity,
+        "args": list(record.args),
+        "endorsers": list(record.endorsers),
+        "invoker": record.invoker,
+        "invoker_org": record.invoker_org,
+        "read_keys": list(record.read_keys),
+        "write_keys": list(record.write_keys),
+        "writes": record.writes,
+        "read_versions": {key: list(value) for key, value in record.read_versions.items()},
+        "range_reads": [list(bounds) for bounds in record.range_reads],
+        "status": record.status.value,
+        "tx_type": record.tx_type.value,
+        "block_number": record.block_number,
+        "block_position": record.block_position,
+        "commit_time": record.commit_time,
+        "contract": record.contract,
+    }
+
+
+def _record_from_dict(data: dict[str, Any]) -> LogRecord:
+    return LogRecord(
+        commit_order=int(data["commit_order"]),
+        tx_id=str(data["tx_id"]),
+        client_timestamp=float(data["client_timestamp"]),
+        activity=str(data["activity"]),
+        args=tuple(data["args"]),
+        endorsers=tuple(data["endorsers"]),
+        invoker=str(data["invoker"]),
+        invoker_org=str(data["invoker_org"]),
+        read_keys=tuple(data["read_keys"]),
+        write_keys=tuple(data["write_keys"]),
+        writes=dict(data["writes"]),
+        read_versions={key: (int(v[0]), int(v[1])) for key, v in data["read_versions"].items()},
+        range_reads=tuple((str(b[0]), str(b[1])) for b in data.get("range_reads", [])),
+        status=TxStatus(data["status"]),
+        tx_type=TxType(data["tx_type"]),
+        block_number=int(data["block_number"]),
+        block_position=int(data.get("block_position", -1)),
+        commit_time=float(data["commit_time"]),
+        contract=str(data.get("contract", "contract")),
+    )
+
+
+def log_to_json(log: BlockchainLog, path: str | Path) -> None:
+    """Write the full log (config + records) as one JSON document."""
+    document = {
+        "config": {
+            "block_count": log.config.block_count,
+            "block_timeout": log.config.block_timeout,
+            "block_bytes": log.config.block_bytes,
+            "endorsement_policy": log.config.endorsement_policy,
+        },
+        "interval_seconds": log.interval_seconds,
+        "records": [_record_to_dict(record) for record in log.records],
+    }
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def log_from_json(path: str | Path) -> BlockchainLog:
+    document = json.loads(Path(path).read_text())
+    config = ChannelConfig(
+        block_count=int(document["config"]["block_count"]),
+        block_timeout=float(document["config"]["block_timeout"]),
+        block_bytes=int(document["config"]["block_bytes"]),
+        endorsement_policy=str(document["config"]["endorsement_policy"]),
+    )
+    records = [_record_from_dict(item) for item in document["records"]]
+    return BlockchainLog(
+        records=records,
+        config=config,
+        interval_seconds=float(document.get("interval_seconds", 1.0)),
+    )
+
+
+def log_to_csv(log: BlockchainLog, path: str | Path) -> None:
+    """Write records as CSV; the config travels in a ``#config`` comment row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "#config",
+                log.config.block_count,
+                log.config.block_timeout,
+                log.config.block_bytes,
+                log.config.endorsement_policy,
+                log.interval_seconds,
+            ]
+        )
+        writer.writerow(CSV_COLUMNS)
+        for record in log.records:
+            data = _record_to_dict(record)
+            writer.writerow(
+                [
+                    json.dumps(data[column]) if isinstance(data[column], (list, dict)) else data[column]
+                    for column in CSV_COLUMNS
+                ]
+            )
+
+
+def log_from_csv(path: str | Path) -> BlockchainLog:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if not header or header[0] != "#config":
+            raise ValueError(f"{path}: missing #config header row")
+        config = ChannelConfig(
+            block_count=int(header[1]),
+            block_timeout=float(header[2]),
+            block_bytes=int(header[3]),
+            endorsement_policy=header[4],
+        )
+        interval = float(header[5]) if len(header) > 5 else 1.0
+        columns = next(reader)
+        if tuple(columns) != CSV_COLUMNS:
+            raise ValueError(f"{path}: unexpected columns {columns}")
+        records = []
+        for row in reader:
+            data: dict[str, Any] = {}
+            for column, cell in zip(CSV_COLUMNS, row):
+                if column in ("args", "endorsers", "read_keys", "write_keys", "writes", "read_versions", "range_reads"):
+                    data[column] = json.loads(cell)
+                else:
+                    data[column] = cell
+            records.append(_record_from_dict(data))
+    return BlockchainLog(records=records, config=config, interval_seconds=interval)

@@ -1,0 +1,112 @@
+"""Ledger extraction and cleaning (the paper's data-preprocessing step).
+
+``BlockOptR registers as a client on the Fabric network, reads the entire
+blockchain [...] the log is cleaned by removing the configuration and
+setup-related transactions``.  Here the ledger object plays the role of
+the fetched chain: configuration transactions yield the
+:class:`~repro.logs.blockchain_log.ChannelConfig` (the paper extracts
+block count/timeout from the log) and are then dropped from the records.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.ledger import Ledger
+from repro.fabric.network import FabricNetwork
+from repro.logs.blockchain_log import BlockchainLog, ChannelConfig, LogRecord
+
+
+def _config_from_ledger(ledger: Ledger) -> ChannelConfig:
+    """Recover the channel configuration from config transactions.
+
+    The *last* config transaction wins, mirroring Fabric's config-update
+    semantics.
+    """
+    settings: dict[str, object] = {
+        "block_count": 100,
+        "block_timeout": 1.0,
+        "block_bytes": 2 * 1024 * 1024,
+        "endorsement_policy": "",
+    }
+    found = False
+    for tx in ledger.transactions(include_config=True):
+        if not tx.is_config:
+            continue
+        found = True
+        for key, value in tx.args:
+            if key in settings:
+                settings[key] = value
+    if not found:
+        raise ValueError("ledger contains no configuration transaction")
+    return ChannelConfig(
+        block_count=int(settings["block_count"]),
+        block_timeout=float(settings["block_timeout"]),
+        block_bytes=int(settings["block_bytes"]),
+        endorsement_policy=str(settings["endorsement_policy"]),
+    )
+
+
+def extract_blockchain_log(
+    source: FabricNetwork | Ledger,
+    interval_seconds: float = 1.0,
+    include_early_aborts: bool = False,
+) -> BlockchainLog:
+    """Extract the nine-attribute blockchain log from a ledger or network.
+
+    ``include_early_aborts`` additionally appends transactions that never
+    reached the chain (endorsement-phase aborts); real Fabric ledgers do
+    not contain them, so the default matches the paper.
+    """
+    if isinstance(source, FabricNetwork):
+        ledger = source.ledger
+        early_aborts = source.aborted if include_early_aborts else []
+    else:
+        ledger = source
+        early_aborts = []
+
+    config = _config_from_ledger(ledger)
+    records: list[LogRecord] = []
+    order = 0
+    for block in ledger:
+        for position, tx in enumerate(block.transactions):
+            if tx.is_config:
+                continue
+            records.append(_to_record(tx, order, position))
+            order += 1
+    for tx in early_aborts:
+        records.append(_to_record(tx, order, -1))
+        order += 1
+    log = BlockchainLog(records=records, config=config, interval_seconds=interval_seconds)
+    log.validate()
+    return log
+
+
+def _to_record(tx, order: int, block_position: int) -> LogRecord:
+    read_versions = {key: (v.block, v.tx) for key, v in tx.rwset.reads.items()}
+    read_keys = set(tx.rwset.reads)
+    for query in tx.rwset.range_queries:
+        for key, version in query.results:
+            read_keys.add(key)
+            read_versions.setdefault(key, (version.block, version.tx))
+    return LogRecord(
+        commit_order=order,
+        tx_id=tx.tx_id,
+        client_timestamp=tx.client_timestamp,
+        activity=tx.activity,
+        args=tuple(tx.args),
+        endorsers=tuple(tx.endorsers),
+        invoker=tx.invoker_client,
+        invoker_org=tx.invoker_org,
+        read_keys=tuple(sorted(read_keys)),
+        write_keys=tuple(sorted(tx.rwset.write_keys)),
+        writes=dict(tx.rwset.writes),
+        read_versions=read_versions,
+        range_reads=tuple(
+            (query.start, query.end) for query in tx.rwset.range_queries
+        ),
+        status=tx.status,
+        tx_type=tx.tx_type,
+        block_number=tx.block_number if tx.block_number is not None else -1,
+        block_position=block_position,
+        commit_time=tx.commit_time if tx.commit_time is not None else -1.0,
+        contract=tx.contract,
+    )

@@ -1,0 +1,109 @@
+"""The Alpha miner (van der Aalst et al., 2004).
+
+The algorithm the paper uses to derive the process models of Figures 2
+and 4.  Classical formulation:
+
+1. compute the footprint relations from the traces;
+2. find all pairs ``(A, B)`` of activity sets where every ``a in A``
+   causally precedes every ``b in B``, members of ``A`` are mutually
+   independent, and members of ``B`` are mutually independent;
+3. keep only the maximal pairs; each becomes a place with ``A`` as input
+   transitions and ``B`` as output transitions;
+4. add a source place before the start activities and a sink place after
+   the end activities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.mining.dfg import DirectlyFollowsGraph
+from repro.mining.footprint import FootprintMatrix, Relation
+from repro.mining.petrinet import PetriNet, Place
+
+#: Pair-enumeration guard: subsets larger than this are not considered.
+#: Real process models have small synchronization fan-in/out; the bound
+#: keeps the power-set step polynomial in practice.
+MAX_SET_SIZE = 4
+
+
+def _independent_subsets(
+    candidates: list[str], footprint: FootprintMatrix, max_size: int
+) -> list[tuple[str, ...]]:
+    """All subsets (size <= max_size) whose members are pairwise in ``#``."""
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, min(max_size, len(candidates)) + 1):
+        for combo in itertools.combinations(sorted(candidates), size):
+            if all(
+                footprint.independent(x, y)
+                for x, y in itertools.combinations(combo, 2)
+            ):
+                subsets.append(combo)
+    return subsets
+
+
+def alpha_miner(
+    traces: Iterable[tuple[str, ...]], max_set_size: int = MAX_SET_SIZE
+) -> PetriNet:
+    """Mine a workflow net from traces with the alpha algorithm."""
+    trace_list = [trace for trace in traces if trace]
+    if not trace_list:
+        raise ValueError("alpha miner needs at least one non-empty trace")
+    dfg = DirectlyFollowsGraph.from_traces(trace_list)
+    footprint = FootprintMatrix.from_dfg(dfg)
+    activities = list(footprint.activities)
+
+    # Step 2: candidate (A, B) pairs from causal relations.
+    causal_sources: dict[str, set[str]] = {}
+    for a, b in footprint.causal_pairs():
+        causal_sources.setdefault(a, set()).add(b)
+
+    pairs: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
+    a_candidates = sorted(causal_sources)
+    b_candidates = sorted({b for targets in causal_sources.values() for b in targets})
+    for a_set in _independent_subsets(a_candidates, footprint, max_set_size):
+        # Targets causally reachable from every member of a_set.
+        shared_targets = set(b_candidates)
+        for a in a_set:
+            shared_targets &= causal_sources.get(a, set())
+        if not shared_targets:
+            continue
+        for b_set in _independent_subsets(sorted(shared_targets), footprint, max_set_size):
+            if all(
+                footprint.relation(a, b) is Relation.CAUSALITY
+                for a in a_set
+                for b in b_set
+            ):
+                pairs.append((a_set, b_set))
+
+    # Step 3: keep maximal pairs only.
+    maximal: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
+    for a_set, b_set in pairs:
+        dominated = any(
+            (set(a_set) <= set(other_a) and set(b_set) <= set(other_b))
+            and (a_set, b_set) != (other_a, other_b)
+            for other_a, other_b in pairs
+        )
+        if not dominated:
+            maximal.append((a_set, b_set))
+
+    net = PetriNet(transitions=list(activities))
+    for a_set, b_set in sorted(maximal):
+        name = f"p({'+'.join(a_set)}->{'+'.join(b_set)})"
+        net.places.append(Place(name=name, inputs=a_set, outputs=b_set))
+        for a in a_set:
+            net.transition_to_place.add((a, name))
+        for b in b_set:
+            net.place_to_transition.add((name, b))
+
+    # Step 4: source and sink.
+    source = Place(name=PetriNet.SOURCE, outputs=tuple(sorted(dfg.start_activities)))
+    sink = Place(name=PetriNet.SINK, inputs=tuple(sorted(dfg.end_activities)))
+    net.places.append(source)
+    net.places.append(sink)
+    for start in source.outputs:
+        net.place_to_transition.add((PetriNet.SOURCE, start))
+    for end in sink.inputs:
+        net.transition_to_place.add((end, PetriNet.SINK))
+    return net

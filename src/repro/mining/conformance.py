@@ -1,0 +1,108 @@
+"""Conformance checking: does behaviour match a model?
+
+Used by the paper in two places: confirming that a redesigned workload
+*adheres to the new process model* (Figure 4), and detecting deviations
+(illogical paths) as evidence for process-model pruning.
+
+Two complementary measures:
+
+* :func:`token_replay_fitness` — replay traces on a Petri net; fitness is
+  the classical combination of missing/consumed and remaining/produced
+  token ratios (1.0 = every trace fits the model exactly).
+* :func:`footprint_conformance` — fraction of footprint-matrix cells on
+  which two behaviours agree; cheap, works model-free between two logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.mining.footprint import FootprintMatrix
+from repro.mining.petrinet import PetriNet
+
+
+def token_replay_fitness(net: PetriNet, traces: Iterable[tuple[str, ...]]) -> float:
+    """Aggregate token-replay fitness of ``traces`` on ``net``.
+
+    fitness = 1/2 (1 - missing/consumed) + 1/2 (1 - remaining/produced)
+    """
+    produced = consumed = missing = remaining = 0
+    count = 0
+    for trace in traces:
+        p, c, m, r = net.replay_trace(trace)
+        produced += p
+        consumed += c
+        missing += m
+        remaining += r
+        count += 1
+    if count == 0:
+        raise ValueError("fitness needs at least one trace")
+    missing_part = 1.0 - (missing / consumed if consumed else 0.0)
+    remaining_part = 1.0 - (remaining / produced if produced else 0.0)
+    return 0.5 * missing_part + 0.5 * remaining_part
+
+
+def footprint_conformance(
+    reference: FootprintMatrix, observed: FootprintMatrix
+) -> float:
+    """Fraction of matching footprint cells over the shared activities.
+
+    Activities present in only one footprint count as full mismatches for
+    their row/column — new or vanished activities are deviations too.
+    """
+    ref_acts = set(reference.activities)
+    obs_acts = set(observed.activities)
+    union = sorted(ref_acts | obs_acts)
+    if not union:
+        raise ValueError("both footprints are empty")
+    matches = 0
+    cells = 0
+    for a in union:
+        for b in union:
+            cells += 1
+            if a in ref_acts and b in ref_acts and a in obs_acts and b in obs_acts:
+                if reference.relation(a, b) is observed.relation(a, b):
+                    matches += 1
+    return matches / cells
+
+
+@dataclass(frozen=True)
+class ModelDiff:
+    """Differences between two behaviours' footprints."""
+
+    added_activities: tuple[str, ...]
+    removed_activities: tuple[str, ...]
+    changed_relations: tuple[tuple[str, str, str, str], ...]
+    conformance: float
+
+    def is_identical(self) -> bool:
+        return (
+            not self.added_activities
+            and not self.removed_activities
+            and not self.changed_relations
+        )
+
+
+def model_diff(reference: FootprintMatrix, observed: FootprintMatrix) -> ModelDiff:
+    """Structured diff between two footprints.
+
+    ``changed_relations`` lists ``(a, b, before, after)`` for every shared
+    pair whose relation changed — e.g. after activity reordering,
+    ``(UpdateAuditInfo, Ship)`` flips from ``||`` to ``<-``.
+    """
+    ref_acts = set(reference.activities)
+    obs_acts = set(observed.activities)
+    changed: list[tuple[str, str, str, str]] = []
+    for a in sorted(ref_acts & obs_acts):
+        for b in sorted(ref_acts & obs_acts):
+            before = reference.relation(a, b)
+            after = observed.relation(a, b)
+            if before is not after:
+                changed.append((a, b, before.value, after.value))
+    return ModelDiff(
+        added_activities=tuple(sorted(obs_acts - ref_acts)),
+        removed_activities=tuple(sorted(ref_acts - obs_acts)),
+        changed_relations=tuple(changed),
+        conformance=footprint_conformance(reference, observed),
+    )

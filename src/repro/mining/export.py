@@ -1,0 +1,80 @@
+"""Graphviz DOT export for mined models.
+
+The paper renders its process models as diagrams (Figures 2 and 4); these
+helpers emit Graphviz DOT text for every model type in this package so
+users can do the same (``dot -Tpng model.dot -o model.png``).  Pure string
+generation — no graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from repro.mining.dfg import DirectlyFollowsGraph
+from repro.mining.fuzzy import FuzzyModel
+from repro.mining.heuristics import DependencyGraph
+from repro.mining.petrinet import PetriNet
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def dfg_to_dot(dfg: DirectlyFollowsGraph, min_count: int = 1) -> str:
+    """Directly-follows graph with edge frequencies as labels."""
+    lines = ["digraph dfg {", "  rankdir=LR;", "  node [shape=box];"]
+    for activity in dfg.activities():
+        count = dfg.activity_counts[activity]
+        lines.append(f"  {_quote(activity)} [label={_quote(f'{activity} ({count})')}];")
+    for a, b, count in dfg.edges(min_count=min_count):
+        lines.append(f"  {_quote(a)} -> {_quote(b)} [label={count}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def petri_to_dot(net: PetriNet) -> str:
+    """Workflow net: transitions as boxes, places as circles."""
+    lines = ["digraph petrinet {", "  rankdir=LR;"]
+    for transition in net.transitions:
+        lines.append(f"  {_quote(transition)} [shape=box];")
+    for place in net.places:
+        shape = "doublecircle" if place.name in (net.SOURCE, net.SINK) else "circle"
+        label = "" if place.name.startswith("p(") else place.name.strip("_")
+        lines.append(
+            f"  {_quote(place.name)} [shape={shape}, label={_quote(label)}];"
+        )
+    for place_name, transition in sorted(net.place_to_transition):
+        lines.append(f"  {_quote(place_name)} -> {_quote(transition)};")
+    for transition, place_name in sorted(net.transition_to_place):
+        lines.append(f"  {_quote(transition)} -> {_quote(place_name)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dependency_to_dot(graph: DependencyGraph) -> str:
+    """Heuristics-miner dependency graph with measures as labels."""
+    lines = ["digraph dependencies {", "  rankdir=LR;", "  node [shape=box];"]
+    for activity in graph.activities:
+        lines.append(f"  {_quote(activity)};")
+    for a, b in sorted(graph.edges):
+        measure = graph.dependency[(a, b)]
+        lines.append(f"  {_quote(a)} -> {_quote(b)} [label={_quote(f'{measure:.2f}')}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fuzzy_to_dot(model: FuzzyModel) -> str:
+    """Fuzzy map: node size label = significance; cluster node dashed."""
+    lines = ["digraph fuzzy {", "  rankdir=LR;", "  node [shape=box];"]
+    for activity, significance in sorted(model.nodes.items()):
+        lines.append(
+            f"  {_quote(activity)} [label={_quote(f'{activity} {significance:.2f}')}];"
+        )
+    if model.clustered:
+        label = f"cluster ({len(model.clustered)})"
+        lines.append(
+            f"  {_quote(model.CLUSTER_NODE)} [style=dashed, label={_quote(label)}];"
+        )
+    for (a, b), weight in sorted(model.edges.items()):
+        lines.append(f"  {_quote(a)} -> {_quote(b)} [label={_quote(f'{weight:.2f}')}];")
+    lines.append("}")
+    return "\n".join(lines)

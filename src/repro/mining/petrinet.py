@@ -1,0 +1,90 @@
+"""A minimal Petri net structure with replay semantics.
+
+Just enough net machinery for the alpha miner's output and token-replay
+conformance: places with token marking, transitions labelled by
+activities, and firing rules.  ``source``/``sink`` bracket the net as in
+the classical workflow-net form the alpha algorithm produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place, identified by the (input set, output set) that created it."""
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+
+@dataclass
+class PetriNet:
+    """Places, activity-labelled transitions, and arcs."""
+
+    places: list[Place] = field(default_factory=list)
+    transitions: list[str] = field(default_factory=list)
+    #: arcs place -> transition
+    place_to_transition: set[tuple[str, str]] = field(default_factory=set)
+    #: arcs transition -> place
+    transition_to_place: set[tuple[str, str]] = field(default_factory=set)
+
+    SOURCE = "__source__"
+    SINK = "__sink__"
+
+    def place_names(self) -> list[str]:
+        return [place.name for place in self.places]
+
+    def inputs_of(self, transition: str) -> list[str]:
+        """Places feeding ``transition``."""
+        return sorted(
+            place for place, t in self.place_to_transition if t == transition
+        )
+
+    def outputs_of(self, transition: str) -> list[str]:
+        """Places fed by ``transition``."""
+        return sorted(place for t, place in self.transition_to_place if t == transition)
+
+    def initial_marking(self) -> dict[str, int]:
+        marking = {name: 0 for name in self.place_names()}
+        if self.SOURCE in marking:
+            marking[self.SOURCE] = 1
+        return marking
+
+    def replay_trace(self, trace: tuple[str, ...]) -> tuple[int, int, int, int]:
+        """Token replay of one trace.
+
+        Returns the classical ``(produced, consumed, missing, remaining)``
+        counters.  Unknown activities consume/produce nothing but count one
+        missing token (they cannot be explained by the model).
+        """
+        marking = self.initial_marking()
+        produced = 1  # initial token in source
+        consumed = 0
+        missing = 0
+        for activity in trace:
+            if activity not in self.transitions:
+                missing += 1
+                continue
+            for place in self.inputs_of(activity):
+                if marking[place] > 0:
+                    marking[place] -= 1
+                else:
+                    missing += 1
+                consumed += 1
+            for place in self.outputs_of(activity):
+                marking[place] += 1
+                produced += 1
+        # Consume the final token from the sink if present.
+        if self.SINK in marking and marking[self.SINK] > 0:
+            marking[self.SINK] -= 1
+            consumed += 1
+        remaining = sum(marking.values())
+        return produced, consumed, missing, remaining
+
+    def allows(self, trace: tuple[str, ...]) -> bool:
+        """True when the trace replays without missing or remaining tokens."""
+        _, _, missing, remaining = self.replay_trace(trace)
+        return missing == 0 and remaining == 0

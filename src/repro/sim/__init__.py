@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+The :mod:`repro.fabric` substrate is built on this small, dependency-free
+kernel: an event heap with a simulated clock (:class:`~repro.sim.kernel.Kernel`),
+FIFO service stations with utilization accounting
+(:class:`~repro.sim.resources.Server`), and seeded random-variate helpers
+(:mod:`repro.sim.rng`).
+"""
+
+from repro.sim.kernel import Event, Kernel
+from repro.sim.resources import Server, ServerStats
+from repro.sim.rng import SimRng, zipf_weights
+
+__all__ = [
+    "Event",
+    "Kernel",
+    "Server",
+    "ServerStats",
+    "SimRng",
+    "zipf_weights",
+]

@@ -1,0 +1,86 @@
+"""Seeded random-variate helpers.
+
+All stochastic choices in the simulator and workload generators flow
+through :class:`SimRng` so that a single integer seed reproduces an entire
+experiment bit-for-bit.  Child generators are derived with
+``numpy.random.SeedSequence.spawn`` so that adding a new consumer does not
+perturb the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalized Zipf weights over ranks ``1..n``.
+
+    ``skew == 0`` degenerates to the uniform distribution; larger skews
+    concentrate mass on low ranks.  This matches how the paper's synthetic
+    generator models *key distribution skew* and *endorser distribution
+    skew* (Table 2).
+    """
+    if n <= 0:
+        raise ValueError(f"need at least one rank, got {n}")
+    if skew < 0:
+        raise ValueError(f"negative skew {skew!r}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+class SimRng:
+    """A seeded random source with named, stable substreams."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._root = np.random.SeedSequence(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``.
+
+        Streams are keyed by name, not creation order, so consumers stay
+        decoupled: drawing more from one stream never shifts another.
+        """
+        if name not in self._streams:
+            # zlib.crc32 is stable across processes, unlike str.__hash__.
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy, spawn_key=(zlib.crc32(name.encode()),)
+            )
+            self._streams[name] = np.random.default_rng(child)
+        return self._streams[name]
+
+    def choice(self, name: str, items: Sequence[T], weights: np.ndarray | None = None) -> T:
+        """Draw one item from ``items`` on stream ``name``."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        gen = self.stream(name)
+        index = int(gen.choice(len(items), p=weights))
+        return items[index]
+
+    def zipf_index(self, name: str, n: int, skew: float) -> int:
+        """Draw an index in ``0..n-1`` with Zipf(skew) weights."""
+        gen = self.stream(name)
+        return int(gen.choice(n, p=zipf_weights(n, skew)))
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Uniform float on ``[low, high)`` from stream ``name``."""
+        return float(self.stream(name).uniform(low, high))
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Exponential variate with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        return float(self.stream(name).exponential(mean))
+
+    def shuffled(self, name: str, items: Sequence[T]) -> list[T]:
+        """A shuffled copy of ``items``."""
+        out = list(items)
+        self.stream(name).shuffle(out)  # type: ignore[arg-type]
+        return out

@@ -1,0 +1,146 @@
+"""Table 2 control variables.
+
+One :class:`ControlVariables` instance describes one synthetic experiment.
+Defaults follow Table 2 (bold markers were lost in the text extraction;
+DESIGN.md documents the choices): Uniform workload, policy ``P3`` =
+``Majority(all orgs)``, no endorser skew, key skew 1, 2 organizations,
+block count 300 (Figure 9 shows a separate "block count 100" experiment
+with catastrophic results, so 100 cannot be the default), send rate 300
+TPS, no transaction distribution skew.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.fabric.config import NetworkConfig, TimingConfig, default_orgs
+from repro.fabric.policy import parse_policy, standard_policy
+
+
+class WorkloadType(enum.Enum):
+    """Table 2 workload types for the synthetic generator."""
+
+    UNIFORM = "uniform"
+    READ_HEAVY = "read_heavy"
+    INSERT_HEAVY = "insert_heavy"
+    UPDATE_HEAVY = "update_heavy"
+    RANGEREAD_HEAVY = "rangeread_heavy"
+
+
+#: Fraction of transactions given to the dominant type in "-heavy" mixes.
+HEAVY_FRACTION = 0.7
+
+#: Per extra organization (beyond 2), every service time grows by this
+#: fraction — the fixed-cluster resource dilution described above.
+ORG_RESOURCE_PENALTY = 0.2
+
+#: The five genChain activities, in mix order.
+GENCHAIN_ACTIVITIES = ("read", "write", "update", "range_read", "delete")
+
+
+def type_mix(workload_type: WorkloadType) -> dict[str, float]:
+    """Activity mix for a workload type (fractions summing to 1)."""
+    uniform = {activity: 1.0 / len(GENCHAIN_ACTIVITIES) for activity in GENCHAIN_ACTIVITIES}
+    heavy_activity = {
+        WorkloadType.READ_HEAVY: "read",
+        WorkloadType.INSERT_HEAVY: "write",
+        WorkloadType.UPDATE_HEAVY: "update",
+        WorkloadType.RANGEREAD_HEAVY: "range_read",
+    }.get(workload_type)
+    if heavy_activity is None:
+        return uniform
+    rest = (1.0 - HEAVY_FRACTION) / (len(GENCHAIN_ACTIVITIES) - 1)
+    return {
+        activity: (HEAVY_FRACTION if activity == heavy_activity else rest)
+        for activity in GENCHAIN_ACTIVITIES
+    }
+
+
+@dataclass
+class ControlVariables:
+    """One synthetic experiment's knobs (paper Table 2)."""
+
+    workload_type: WorkloadType = WorkloadType.UNIFORM
+    #: Named policy P0-P4 or a raw expression like ``And(Org1,Or(Org2,Org3))``.
+    #: Default P3 = Majority(all orgs): the paper's 4-org experiments (P3 and
+    #: "No. of orgs: 4") produce nearly identical numbers, which pins the
+    #: default policy to Majority semantics (DESIGN.md).
+    endorsement_policy: str = "P3"
+    endorser_dist_skew: float = 0.0
+    key_dist_skew: float = 1.0
+    num_orgs: int = 2
+    block_count: int = 300
+    block_timeout: float = 1.0
+    send_rate: float = 300.0
+    #: Optional phased schedule [(tx_count, rate), ...]; overrides send_rate.
+    send_rate_phases: list[tuple[int, float]] | None = None
+    #: Fraction of transactions pinned to Org1's clients (0.7 = "70%").
+    tx_dist_skew: float = 0.0
+    total_transactions: int = 10_000
+    num_keys: int = 1500
+    clients_per_org: int = 2
+    endorsers_per_org: int = 1
+    scheduler: str = "fifo"
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tx_dist_skew <= 1.0:
+            raise ValueError(f"tx_dist_skew must be in [0, 1], got {self.tx_dist_skew}")
+        if self.total_transactions < 1:
+            raise ValueError("need at least one transaction")
+        if self.send_rate <= 0:
+            raise ValueError(f"send_rate must be positive, got {self.send_rate}")
+        needed = self._min_orgs_for_policy()
+        if self.num_orgs < needed:
+            raise ValueError(
+                f"policy {self.endorsement_policy!r} needs >= {needed} orgs, "
+                f"got {self.num_orgs} (the paper's P1/P2/P4 experiments run "
+                f"with 4 organizations)"
+            )
+
+    def _min_orgs_for_policy(self) -> int:
+        expression = self.resolve_policy()
+        orgs = parse_policy(expression).organizations()
+        return max(int(name.removeprefix("Org")) for name in orgs)
+
+    def resolve_policy(self) -> str:
+        """Expand a named policy (P0-P4) into its expression."""
+        if self.endorsement_policy.startswith("P") and len(self.endorsement_policy) == 2:
+            return standard_policy(self.endorsement_policy, self.num_orgs).to_expression()
+        return self.endorsement_policy
+
+    def to_network_config(self) -> NetworkConfig:
+        """Materialize the Fabric network configuration.
+
+        Service times scale with the organization count: the paper's
+        testbed is a fixed 6-node cluster, so more organizations mean more
+        pods per node and slower components across the board — the reason
+        every 4-org experiment clusters around ~110 TPS while 2-org runs
+        reach ~170-210 TPS.
+        """
+        resource_factor = 1.0 + ORG_RESOURCE_PENALTY * max(0, self.num_orgs - 2)
+        # Only the per-org components (clients, endorsing peers) dilute when
+        # more organizations share the fixed cluster; the ordering service
+        # and the validation pipeline are modelled as single instances.
+        timing = replace(
+            self.timing,
+            client_per_tx=self.timing.client_per_tx * resource_factor,
+            package_per_endorsement=self.timing.package_per_endorsement * resource_factor,
+            endorse_per_tx=self.timing.endorse_per_tx * resource_factor,
+        )
+        return NetworkConfig(
+            orgs=default_orgs(
+                self.num_orgs,
+                num_clients=self.clients_per_org,
+                endorsers_per_org=self.endorsers_per_org,
+            ),
+            endorsement_policy=self.resolve_policy(),
+            block_count=self.block_count,
+            block_timeout=self.block_timeout,
+            endorser_selection_skew=self.endorser_dist_skew,
+            scheduler=self.scheduler,
+            timing=timing,
+            seed=self.seed,
+        )

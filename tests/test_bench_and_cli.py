@@ -1,0 +1,141 @@
+"""Tests for the bench harness, experiment definitions, and the CLI."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentOutcome,
+    RunRow,
+    default_recommendation,
+    execute_experiment,
+    format_outcome,
+    format_paper_comparison,
+)
+from repro.bench.experiments import (
+    FIG10_RATE_CONTROL,
+    FIG11_REORDERING,
+    TABLE3_EXPECTED,
+    make_synthetic,
+    make_usecase,
+    synthetic_spec,
+    usecase_plans,
+)
+from repro.bench.tables import improvement
+from repro.cli import main
+from repro.core import BlockOptR, OptimizationKind as K
+from repro.fabric import run_workload
+from repro.workloads.spec import WorkloadType
+
+
+class TestExperimentSpecs:
+    def test_all_table3_experiments_resolvable(self):
+        for name in TABLE3_EXPECTED:
+            spec = synthetic_spec(name)
+            assert spec.total_transactions > 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            synthetic_spec("nope")
+
+    def test_policy_experiments_use_four_orgs(self):
+        assert synthetic_spec("endorsement_policy_p1").num_orgs == 4
+        assert synthetic_spec("endorsement_policy_p2_skew").endorser_dist_skew == 6.0
+
+    def test_workload_experiments_set_type(self):
+        spec = synthetic_spec("workload_rangeread_heavy")
+        assert spec.workload_type is WorkloadType.RANGEREAD_HEAVY
+
+    def test_phased_experiment(self):
+        spec = synthetic_spec("send_rate_500_1000")
+        assert spec.send_rate_phases is not None
+        assert sum(count for count, _ in spec.send_rate_phases) == spec.total_transactions
+
+    def test_paper_value_tables_have_without_rows(self):
+        for table in (FIG10_RATE_CONTROL, FIG11_REORDERING):
+            for experiment, rows in table.items():
+                assert "without" in rows, experiment
+
+    def test_usecase_plans_known(self):
+        for usecase in ("scm", "drm", "ehr", "voting", "loan", "synthetic"):
+            assert usecase_plans(usecase)
+        with pytest.raises(KeyError):
+            usecase_plans("nope")
+
+    def test_make_usecase_unknown(self):
+        with pytest.raises(KeyError):
+            make_usecase("nope")()
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def small_outcome(self):
+        make = make_usecase("voting", total_transactions=500, seed=3)
+        plans = [("data model alteration", (K.DATA_MODEL_ALTERATION,))]
+        return execute_experiment(
+            "test-dv", make, plans, paper={"without": (4.2, 4.6, 10.2)}
+        )
+
+    def test_outcome_rows(self, small_outcome):
+        assert small_outcome.rows[0].label == "without"
+        assert len(small_outcome.rows) == 2
+        assert small_outcome.row("data model alteration").success_pct > (
+            small_outcome.row("without").success_pct
+        )
+
+    def test_missing_row_raises(self, small_outcome):
+        with pytest.raises(KeyError):
+            small_outcome.row("missing")
+
+    def test_formatting(self, small_outcome):
+        text = format_outcome(small_outcome)
+        assert "test-dv" in text and "without" in text
+        comparison = format_paper_comparison(small_outcome)
+        assert "paper tput" in comparison
+        assert "4.6" in comparison
+
+    def test_improvement_computation(self, small_outcome):
+        gains = improvement(small_outcome, "data model alteration")
+        assert gains["success"] > 0
+
+    def test_default_recommendations_constructible(self):
+        make = make_synthetic("default", seed=3)
+        config, family, requests = make()
+        spec = synthetic_spec("default", seed=3)
+        spec.total_transactions = 400
+        from repro.workloads import synthetic_workload
+
+        config, deployment, requests = synthetic_workload(spec)
+        network, _ = run_workload(config, deployment.contracts, requests)
+        report = BlockOptR().analyze_network(network)
+        for kind in K:
+            rec = default_recommendation(kind, report)
+            assert rec.kind is kind
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--usecase", "voting", "--transactions", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "without" in out
+
+    def test_analyze_exported_log(self, tmp_path, capsys, finished_network):
+        from repro.logs import extract_blockchain_log, log_to_csv
+
+        network, _ = finished_network
+        path = tmp_path / "log.csv"
+        log_to_csv(extract_blockchain_log(network), path)
+        assert main(["analyze", str(path)]) == 0
+        assert "BlockOptR analysis" in capsys.readouterr().out
+
+    def test_export_conversion(self, tmp_path, capsys, finished_network):
+        from repro.logs import extract_blockchain_log, log_from_json, log_to_csv
+
+        network, _ = finished_network
+        csv_path = tmp_path / "log.csv"
+        json_path = tmp_path / "log.json"
+        log_to_csv(extract_blockchain_log(network), csv_path)
+        assert main(["export", str(csv_path), "--out", str(json_path)]) == 0
+        assert len(log_from_json(json_path)) == 200
+
+    def test_bad_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,134 @@
+"""Unit tests for ledger blocks and transaction types."""
+
+import pytest
+
+from repro.fabric.ledger import Block, Ledger
+from repro.fabric.transaction import (
+    DELETED,
+    RangeQueryInfo,
+    ReadWriteSet,
+    Transaction,
+    TxStatus,
+    TxType,
+    Version,
+)
+
+
+def _tx(i: int) -> Transaction:
+    return Transaction(
+        tx_id=f"tx{i}",
+        client_timestamp=0.0,
+        activity="a",
+        args=(),
+        contract="c",
+        invoker_client="Org1-client0",
+        invoker_org="Org1",
+    )
+
+
+class TestLedger:
+    def test_append_and_iterate(self):
+        ledger = Ledger()
+        block = Block(number=0, transactions=[_tx(1)], previous_hash=Ledger.GENESIS_HASH)
+        ledger.append(block)
+        assert ledger.height == 1
+        assert [t.tx_id for t in ledger.transactions()] == ["tx1"]
+
+    def test_wrong_number_rejected(self):
+        ledger = Ledger()
+        block = Block(number=1, transactions=[_tx(1)], previous_hash=Ledger.GENESIS_HASH)
+        with pytest.raises(ValueError):
+            ledger.append(block)
+
+    def test_wrong_previous_hash_rejected(self):
+        ledger = Ledger()
+        ledger.append(Block(number=0, transactions=[_tx(1)], previous_hash=Ledger.GENESIS_HASH))
+        with pytest.raises(ValueError):
+            ledger.append(Block(number=1, transactions=[_tx(2)], previous_hash="bogus"))
+
+    def test_chain_verification(self):
+        ledger = Ledger()
+        for i in range(3):
+            ledger.append(
+                Block(number=i, transactions=[_tx(i)], previous_hash=ledger.tip_hash)
+            )
+        assert ledger.verify_chain()
+
+    def test_tampering_detected(self):
+        ledger = Ledger()
+        ledger.append(Block(number=0, transactions=[_tx(1)], previous_hash=Ledger.GENESIS_HASH))
+        ledger.append(Block(number=1, transactions=[_tx(2)], previous_hash=ledger.tip_hash))
+        ledger.block(0).transactions.append(_tx(99))
+        assert not ledger.verify_chain()
+
+    def test_config_filtering(self):
+        ledger = Ledger()
+        config_tx = _tx(0)
+        config_tx.is_config = True
+        ledger.append(Block(number=0, transactions=[config_tx], previous_hash=Ledger.GENESIS_HASH))
+        ledger.append(Block(number=1, transactions=[_tx(1)], previous_hash=ledger.tip_hash))
+        assert [t.tx_id for t in ledger.transactions(include_config=False)] == ["tx1"]
+        assert len(list(ledger.transactions(include_config=True))) == 2
+
+
+class TestTxTypeDerivation:
+    def test_pure_read(self):
+        rwset = ReadWriteSet(reads={"k": Version(0, 0)})
+        assert rwset.derive_type() is TxType.READ
+
+    def test_blind_write(self):
+        rwset = ReadWriteSet(writes={"k": 1})
+        assert rwset.derive_type() is TxType.WRITE
+
+    def test_update_reads_and_writes(self):
+        rwset = ReadWriteSet(reads={"k": Version(0, 0)}, writes={"k": 2})
+        assert rwset.derive_type() is TxType.UPDATE
+
+    def test_range_read(self):
+        rwset = ReadWriteSet(
+            range_queries=[RangeQueryInfo(start="a", end="b", results=())]
+        )
+        assert rwset.derive_type() is TxType.RANGE_READ
+
+    def test_delete_takes_priority(self):
+        rwset = ReadWriteSet(reads={"k": Version(0, 0)}, writes={"k": DELETED})
+        assert rwset.derive_type() is TxType.DELETE
+
+    def test_empty_rwset_is_read(self):
+        assert ReadWriteSet().derive_type() is TxType.READ
+
+
+class TestReadWriteSet:
+    def test_read_keys_include_range_results(self):
+        rwset = ReadWriteSet(
+            reads={"a": Version(0, 0)},
+            range_queries=[
+                RangeQueryInfo(start="b", end="d", results=(("b", Version(0, 1)), ("c", Version(0, 2))))
+            ],
+        )
+        assert rwset.read_keys == {"a", "b", "c"}
+        assert rwset.all_keys == {"a", "b", "c"}
+
+    def test_estimated_bytes_grows_with_content(self):
+        small = ReadWriteSet(writes={"k": 1}).estimated_bytes()
+        big = ReadWriteSet(writes={f"key{i}": "x" * 50 for i in range(10)}).estimated_bytes()
+        assert big > small
+
+
+class TestTransaction:
+    def test_latency_requires_commit(self):
+        tx = _tx(1)
+        assert tx.latency is None
+        tx.commit_time = 4.0
+        tx.client_timestamp = 1.0
+        assert tx.latency == 3.0
+
+    def test_status_failure_flags(self):
+        assert not TxStatus.SUCCESS.is_failure
+        for status in (
+            TxStatus.MVCC_CONFLICT,
+            TxStatus.PHANTOM_CONFLICT,
+            TxStatus.ENDORSEMENT_FAILURE,
+            TxStatus.EARLY_ABORT,
+        ):
+            assert status.is_failure

@@ -1,0 +1,192 @@
+"""Integration tests for the full EOV pipeline."""
+
+import pytest
+
+from repro.fabric.config import NetworkConfig, TimingConfig, default_orgs
+from repro.fabric.network import FabricNetwork, run_workload
+from repro.fabric.transaction import TxRequest, TxStatus
+
+from tests.conftest import CounterContract, counter_requests, small_config
+
+
+def test_all_transactions_accounted(finished_network):
+    network, result = finished_network
+    assert result.total_issued == 200
+    assert result.success_count + sum(result.failure_counts.values()) == 200
+
+
+def test_ledger_chain_valid(finished_network):
+    network, _ = finished_network
+    assert network.ledger.verify_chain()
+
+
+def test_genesis_block_carries_config(finished_network):
+    network, _ = finished_network
+    genesis = network.ledger.block(0)
+    assert genesis.transactions[0].is_config
+    args = dict(genesis.transactions[0].args)
+    assert args["block_count"] == network.config.block_count
+
+
+def test_commit_order_assigned_sequentially(finished_network):
+    network, _ = finished_network
+    orders = [tx.commit_order for tx in network.ledger.transactions(include_config=False)]
+    assert orders == list(range(len(orders)))
+
+
+def test_successful_write_updates_state(counter_contract):
+    config = small_config()
+    requests = [
+        TxRequest(submit_time=0.0, activity="put", args=("ctr:0001", 99), contract="counter")
+    ]
+    network, result = run_workload(config, [counter_contract], requests)
+    assert result.success_count == 1
+    assert network.state_db.namespace("counter").get("ctr:0001").value == 99
+
+
+def test_sequential_bumps_all_succeed(counter_contract):
+    """Spaced-out increments never conflict."""
+    config = small_config()
+    requests = [
+        TxRequest(submit_time=i * 3.0, activity="bump", args=("ctr:0000",), contract="counter")
+        for i in range(5)
+    ]
+    network, result = run_workload(config, [counter_contract], requests)
+    assert result.success_rate == 1.0
+    assert network.state_db.namespace("counter").get("ctr:0000").value == 5
+
+
+def test_concurrent_bumps_conflict(counter_contract):
+    """Simultaneous increments of one key: exactly the serializable subset wins."""
+    config = small_config()
+    requests = [
+        TxRequest(submit_time=0.001 * i, activity="bump", args=("ctr:0000",), contract="counter")
+        for i in range(10)
+    ]
+    network, result = run_workload(config, [counter_contract], requests)
+    final = network.state_db.namespace("counter").get("ctr:0000").value
+    # State must equal the number of SUCCESSFUL increments (serializability).
+    assert final == result.success_count
+    assert result.failure_counts.get(TxStatus.MVCC_CONFLICT.value, 0) > 0
+
+
+def test_phantom_conflict_on_insert_during_scan(counter_contract):
+    config = small_config()
+    # The insert is sent first and commits earlier in the same block; the
+    # scan executes against the pre-insert snapshot, so at validation the
+    # scanned range has a new member.
+    requests = [
+        TxRequest(submit_time=0.0, activity="put", args=("ctr:9999", 1), contract="counter"),
+        TxRequest(submit_time=0.001, activity="scan", args=("ctr:", "ctr:￿"), contract="counter"),
+        # Second scan long after, should succeed.
+        TxRequest(submit_time=10.0, activity="scan", args=("ctr:", "ctr:￿"), contract="counter"),
+    ]
+    network, result = run_workload(config, [counter_contract], requests)
+    statuses = [tx.status for tx in network.ledger.transactions(include_config=False)]
+    assert TxStatus.PHANTOM_CONFLICT in statuses
+    assert statuses[-1] is TxStatus.SUCCESS
+
+
+def test_reads_of_stable_keys_succeed(counter_contract):
+    config = small_config()
+    requests = [
+        TxRequest(submit_time=i / 100.0, activity="get", args=(f"ctr:{i % 20:04d}",), contract="counter")
+        for i in range(50)
+    ]
+    _, result = run_workload(config, [counter_contract], requests)
+    assert result.success_rate == 1.0
+
+
+def test_empty_workload_rejected(counter_contract):
+    network = FabricNetwork(small_config(), [counter_contract])
+    with pytest.raises(ValueError):
+        network.run([])
+
+
+def test_policy_must_match_orgs(counter_contract):
+    config = small_config(endorsement_policy="And(Org1,Org9)")
+    with pytest.raises(ValueError):
+        FabricNetwork(config, [counter_contract])
+
+
+def test_duplicate_contract_names_rejected():
+    with pytest.raises(ValueError):
+        FabricNetwork(small_config(), [CounterContract(), CounterContract()])
+
+
+def test_no_contracts_rejected():
+    with pytest.raises(ValueError):
+        FabricNetwork(small_config(), [])
+
+
+def test_determinism_same_seed(counter_contract):
+    requests = counter_requests(count=150, rate=300.0)
+    _, r1 = run_workload(small_config(), [CounterContract()], list(requests))
+    _, r2 = run_workload(small_config(), [CounterContract()], list(requests))
+    assert r1.success_count == r2.success_count
+    assert r1.avg_latency == r2.avg_latency
+    assert r1.failure_counts == r2.failure_counts
+
+
+def test_block_cutting_by_count(counter_contract):
+    config = small_config(block_count=10, block_timeout=60.0)
+    requests = counter_requests(count=100, rate=1000.0)
+    network, result = run_workload(config, [counter_contract], requests)
+    data_blocks = [b for b in network.ledger if not b.transactions[0].is_config]
+    full = [b for b in data_blocks if len(b) == 10]
+    assert len(full) >= 9
+    assert network.orderer.cut_reasons["count"] >= 9
+
+
+def test_block_cutting_by_timeout(counter_contract):
+    config = small_config(block_count=1000, block_timeout=0.2)
+    requests = counter_requests(count=50, rate=100.0)
+    network, _ = run_workload(config, [counter_contract], requests)
+    assert network.orderer.cut_reasons["timeout"] >= 1
+    assert network.orderer.cut_reasons["count"] == 0
+
+
+def test_block_cutting_by_bytes(counter_contract):
+    config = small_config(block_count=10_000, block_timeout=60.0, block_bytes=2000)
+    requests = counter_requests(count=60, rate=1000.0)
+    network, _ = run_workload(config, [counter_contract], requests)
+    assert network.orderer.cut_reasons["bytes"] >= 1
+
+
+def test_invoker_org_pinning(counter_contract):
+    config = small_config()
+    requests = [
+        TxRequest(
+            submit_time=i / 100.0,
+            activity="get",
+            args=("ctr:0000",),
+            contract="counter",
+            invoker_org="Org2",
+        )
+        for i in range(20)
+    ]
+    network, _ = run_workload(config, [counter_contract], requests)
+    invokers = {tx.invoker_org for tx in network.ledger.transactions(include_config=False)}
+    assert invokers == {"Org2"}
+
+
+def test_endorsers_satisfy_policy(finished_network):
+    network, _ = finished_network
+    for tx in network.ledger.transactions(include_config=False):
+        if tx.status is not TxStatus.ENDORSEMENT_FAILURE:
+            orgs = {name.rpartition("-peer")[0] for name in tx.endorsers}
+            assert network.policy.is_satisfied_by(orgs)
+
+
+def test_utilization_reported(finished_network):
+    _, result = finished_network
+    assert "orderer" in result.utilization
+    assert "validator" in result.utilization
+    assert all(0.0 <= u <= 1.0 for u in result.utilization.values())
+
+
+def test_latency_positive_for_all_successes(finished_network):
+    network, _ = finished_network
+    for tx in network.ledger.transactions(include_config=False):
+        if tx.status is TxStatus.SUCCESS:
+            assert tx.latency is not None and tx.latency > 0

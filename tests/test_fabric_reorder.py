@@ -1,0 +1,154 @@
+"""Unit + property tests for the Fabric++/FabricSharp schedulers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fabric.reorder import (
+    FabricPlusPlusScheduler,
+    FabricSharpScheduler,
+    FifoScheduler,
+    make_scheduler,
+)
+from repro.fabric.transaction import ReadWriteSet, Transaction, Version
+
+
+def _tx(tx_id, reads=(), writes=(), endorse_time=0.0):
+    rwset = ReadWriteSet(
+        reads={key: Version(0, 0) for key in reads},
+        writes={key: 1 for key in writes},
+    )
+    tx = Transaction(
+        tx_id=tx_id,
+        client_timestamp=0.0,
+        activity="a",
+        args=(),
+        contract="c",
+        invoker_client="cl",
+        invoker_org="Org1",
+        rwset=rwset,
+    )
+    tx.endorse_time = endorse_time
+    return tx
+
+
+class TestFifo:
+    def test_passthrough(self):
+        batch = [_tx("a"), _tx("b")]
+        ordered, aborts = FifoScheduler().schedule(batch)
+        assert [t.tx_id for t in ordered] == ["a", "b"]
+        assert aborts == []
+
+
+class TestFabricPlusPlus:
+    def test_reader_moved_before_writer(self):
+        writer = _tx("w", writes=["k"])
+        reader = _tx("r", reads=["k"])
+        ordered, aborts = FabricPlusPlusScheduler().schedule([writer, reader])
+        assert [t.tx_id for t in ordered] == ["r", "w"]
+        assert aborts == []
+
+    def test_independent_txs_keep_arrival_order(self):
+        batch = [_tx("a", writes=["x"]), _tx("b", writes=["y"]), _tx("c", reads=["z"])]
+        ordered, aborts = FabricPlusPlusScheduler().schedule(batch)
+        assert [t.tx_id for t in ordered] == ["a", "b", "c"]
+        assert aborts == []
+
+    def test_cycle_broken_with_abort(self):
+        # a reads x writes y; b reads y writes x -> 2-cycle.
+        a = _tx("a", reads=["x"], writes=["y"])
+        b = _tx("b", reads=["y"], writes=["x"])
+        ordered, aborts = FabricPlusPlusScheduler().schedule([a, b])
+        assert len(ordered) == 1
+        assert len(aborts) == 1
+
+    def test_update_chain_orders_readers_first(self):
+        u1 = _tx("u1", reads=["k"], writes=["k"])
+        u2 = _tx("u2", reads=["k"], writes=["k"])
+        ordered, aborts = FabricPlusPlusScheduler().schedule([u1, u2])
+        # Two read-modify-writes of the same key form a cycle: one aborts.
+        assert len(ordered) + len(aborts) == 2
+        assert len(aborts) == 1
+
+    def test_empty_and_single(self):
+        assert FabricPlusPlusScheduler().schedule([]) == ([], [])
+        single = [_tx("a")]
+        ordered, aborts = FabricPlusPlusScheduler().schedule(single)
+        assert ordered == single and aborts == []
+
+
+class TestFabricSharp:
+    def test_stale_read_aborted(self):
+        sharp = FabricSharpScheduler(window=5)
+        writer = _tx("w", writes=["k"], endorse_time=1.0)
+        sharp.schedule([writer])
+        stale = _tx("s", reads=["k"], endorse_time=0.5)  # endorsed before the write
+        ordered, aborts = sharp.schedule([stale])
+        assert ordered == []
+        assert [t.tx_id for t in aborts] == ["s"]
+
+    def test_fresh_read_passes(self):
+        sharp = FabricSharpScheduler(window=5)
+        sharp.schedule([_tx("w", writes=["k"], endorse_time=1.0)])
+        fresh = _tx("f", reads=["k"], endorse_time=2.0)
+        ordered, aborts = sharp.schedule([fresh])
+        assert [t.tx_id for t in ordered] == ["f"]
+        assert aborts == []
+
+    def test_window_expiry_forgets_writes(self):
+        sharp = FabricSharpScheduler(window=1)
+        sharp.schedule([_tx("w", writes=["k"], endorse_time=1.0)])
+        sharp.schedule([_tx("other", writes=["z"], endorse_time=2.0)])  # expires k
+        stale = _tx("s", reads=["k"], endorse_time=0.5)
+        ordered, aborts = sharp.schedule([stale])
+        assert [t.tx_id for t in ordered] == ["s"]
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FabricSharpScheduler(window=0)
+
+
+def test_factory():
+    assert isinstance(make_scheduler("fifo"), FifoScheduler)
+    assert isinstance(make_scheduler("fabricpp"), FabricPlusPlusScheduler)
+    sharp = make_scheduler("fabricsharp", window=3)
+    assert isinstance(sharp, FabricSharpScheduler)
+    assert sharp.window == 3
+    with pytest.raises(ValueError):
+        make_scheduler("bogus")
+
+
+_keys = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def batches(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    batch = []
+    for i in range(n):
+        reads = draw(st.sets(_keys, max_size=2))
+        writes = draw(st.sets(_keys, max_size=2))
+        batch.append(_tx(f"t{i}", reads=sorted(reads), writes=sorted(writes)))
+    return batch
+
+
+@given(batches())
+def test_property_fabricpp_preserves_multiset(batch):
+    ordered, aborts = FabricPlusPlusScheduler().schedule(list(batch))
+    assert sorted(t.tx_id for t in ordered + aborts) == sorted(t.tx_id for t in batch)
+
+
+@given(batches())
+def test_property_fabricpp_output_conflict_free(batch):
+    """No surviving tx reads a key written by an *earlier* surviving tx."""
+    ordered, _ = FabricPlusPlusScheduler().schedule(list(batch))
+    written: set[str] = set()
+    for tx in ordered:
+        assert not (tx.rwset.read_keys & written)
+        written |= tx.rwset.write_keys
+
+
+@given(batches())
+def test_property_fabricsharp_accounts_everything(batch):
+    sharp = FabricSharpScheduler(window=3)
+    ordered, aborts = sharp.schedule(list(batch))
+    assert len(ordered) + len(aborts) == len(batch)

@@ -1,0 +1,248 @@
+"""Tests for blockchain-log extraction, export round trips, event logs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric.transaction import TxStatus, TxType
+from repro.logs import (
+    BlockchainLog,
+    ChannelConfig,
+    EventLog,
+    LogRecord,
+    derive_case_attribute,
+    extract_blockchain_log,
+    log_from_csv,
+    log_from_json,
+    log_to_csv,
+    log_to_json,
+)
+from repro.logs.blockchain_log import slice_by_interval
+
+
+def make_record(order, activity="act", args=(), keys=(), writes=None, status=TxStatus.SUCCESS, ts=None):
+    writes = writes or {}
+    return LogRecord(
+        commit_order=order,
+        tx_id=f"tx{order}",
+        client_timestamp=float(order) / 10.0 if ts is None else ts,
+        activity=activity,
+        args=tuple(args),
+        endorsers=("Org1-peer0",),
+        invoker="Org1-client0",
+        invoker_org="Org1",
+        read_keys=tuple(keys),
+        write_keys=tuple(writes),
+        writes=dict(writes),
+        read_versions={k: (0, 0) for k in keys},
+        range_reads=(),
+        status=status,
+        tx_type=TxType.UPDATE if writes else TxType.READ,
+        block_number=order // 10,
+        block_position=order % 10,
+        commit_time=float(order) / 10.0 + 1.0,
+    )
+
+
+def make_log(records):
+    config = ChannelConfig(
+        block_count=100, block_timeout=1.0, block_bytes=1 << 20, endorsement_policy="Majority(Org1,Org2)"
+    )
+    return BlockchainLog(records=records, config=config)
+
+
+class TestExtraction:
+    def test_nine_attributes_present(self, finished_network):
+        network, _ = finished_network
+        log = extract_blockchain_log(network)
+        record = log.records[0]
+        # Paper Section 4.1: the nine attributes.
+        assert record.client_timestamp >= 0.0
+        assert record.activity
+        assert isinstance(record.args, tuple)
+        assert record.endorsers
+        assert record.invoker and record.invoker_org
+        assert isinstance(record.rw_keys, frozenset)
+        assert isinstance(record.status, TxStatus)
+        assert isinstance(record.tx_type, TxType)
+        assert record.commit_order == 0
+
+    def test_config_transactions_cleaned(self, finished_network):
+        network, _ = finished_network
+        log = extract_blockchain_log(network)
+        assert all(record.activity != "__config__" for record in log)
+
+    def test_config_recovered_from_ledger(self, finished_network):
+        network, _ = finished_network
+        log = extract_blockchain_log(network)
+        assert log.config.block_count == network.config.block_count
+        assert log.config.endorsement_policy == network.config.endorsement_policy
+
+    def test_commit_order_strictly_increasing(self, finished_network):
+        network, _ = finished_network
+        log = extract_blockchain_log(network)
+        log.validate()
+
+    def test_ledger_without_config_rejected(self):
+        from repro.fabric.ledger import Ledger
+
+        with pytest.raises(ValueError):
+            extract_blockchain_log(Ledger())
+
+
+class TestSlicing:
+    def test_slices_partition_records(self):
+        log = make_log([make_record(i) for i in range(50)])
+        slices = slice_by_interval(log, 1.0)
+        assert sum(s.count for s in slices) == 50
+
+    def test_interval_boundaries(self):
+        log = make_log([make_record(i) for i in range(30)])  # ts 0.0 .. 2.9
+        slices = slice_by_interval(log, 1.0)
+        assert len(slices) == 3
+        assert slices[0].count == 10
+
+    def test_bad_interval(self):
+        log = make_log([make_record(0)])
+        with pytest.raises(ValueError):
+            slice_by_interval(log, 0.0)
+
+    def test_empty_log(self):
+        assert slice_by_interval(make_log([]), 1.0) == []
+
+
+class TestExport:
+    def test_json_roundtrip(self, finished_network, tmp_path):
+        network, _ = finished_network
+        log = extract_blockchain_log(network)
+        path = tmp_path / "log.json"
+        log_to_json(log, path)
+        loaded = log_from_json(path)
+        assert len(loaded) == len(log)
+        assert loaded.config == log.config
+        assert loaded.records[0] == log.records[0]
+
+    def test_csv_roundtrip(self, finished_network, tmp_path):
+        network, _ = finished_network
+        log = extract_blockchain_log(network)
+        path = tmp_path / "log.csv"
+        log_to_csv(log, path)
+        loaded = log_from_csv(path)
+        assert len(loaded) == len(log)
+        for original, restored in zip(log.records, loaded.records):
+            assert restored.activity == original.activity
+            assert restored.status == original.status
+            assert restored.read_versions == original.read_versions
+            assert restored.range_reads == original.range_reads
+
+    def test_csv_requires_config_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,log\n")
+        with pytest.raises(ValueError):
+            log_from_csv(path)
+
+
+class TestCaseIdDerivation:
+    def test_key_family_wins_on_coverage(self):
+        records = [
+            make_record(0, activity="create", keys=["item:A"], writes={"item:A": 1}),
+            make_record(1, activity="check", keys=["item:A"]),
+            make_record(2, activity="create", keys=["item:B"], writes={"item:B": 1}),
+            make_record(3, activity="check", keys=["item:B"]),
+        ]
+        derivation = derive_case_attribute(make_log(records))
+        assert derivation.attribute == "key:item"
+        assert derivation.coverage == 1.0
+        assert derivation.distinct_values == 2
+
+    def test_granularity_breaks_ties(self):
+        # arg0 has 2 distinct values, arg1 has 4 -> arg1 preferred.
+        records = [
+            make_record(i, activity="a", args=(f"coarse{i % 2}", f"fine{i}"))
+            for i in range(4)
+        ]
+        derivation = derive_case_attribute(make_log(records))
+        assert derivation.attribute == "arg:1"
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            derive_case_attribute(make_log([]))
+
+    def test_scores_exposed(self):
+        records = [make_record(0, activity="a", args=("x",))]
+        derivation = derive_case_attribute(make_log(records))
+        assert "arg:0" in derivation.scores
+
+
+class TestEventLog:
+    def _sample_log(self):
+        records = []
+        order = 0
+        for case in ("A", "B", "C"):
+            for activity in ("create", "process", "close"):
+                records.append(
+                    make_record(order, activity=activity, keys=[f"case:{case}"])
+                )
+                order += 1
+        return make_log(records)
+
+    def test_traces_follow_commit_order(self):
+        event_log = EventLog.from_blockchain_log(self._sample_log())
+        assert event_log.traces() == [("create", "process", "close")] * 3
+
+    def test_trace_variants_counted(self):
+        event_log = EventLog.from_blockchain_log(self._sample_log())
+        assert event_log.trace_variants() == {("create", "process", "close"): 3}
+
+    def test_explicit_case_attribute(self):
+        event_log = EventLog.from_blockchain_log(self._sample_log(), case_attribute="key:case")
+        assert len(event_log.cases()) == 3
+
+    def test_exclude_failures(self):
+        records = [
+            make_record(0, activity="a", keys=["case:A"]),
+            make_record(1, activity="b", keys=["case:A"], status=TxStatus.MVCC_CONFLICT),
+        ]
+        log = make_log(records)
+        with_failures = EventLog.from_blockchain_log(log, case_attribute="key:case")
+        without = EventLog.from_blockchain_log(
+            log, case_attribute="key:case", include_failures=False
+        )
+        assert len(with_failures) == 2
+        assert len(without) == 1
+
+    def test_records_without_case_value_skipped(self):
+        records = [
+            make_record(0, activity="a", keys=["case:A"]),
+            make_record(1, activity="noise"),  # no keys, no args
+        ]
+        event_log = EventLog.from_blockchain_log(make_log(records), case_attribute="key:case")
+        assert len(event_log) == 1
+
+    def test_activities_listing(self):
+        event_log = EventLog.from_blockchain_log(self._sample_log())
+        assert event_log.activities() == ["close", "create", "process"]
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["create", "update", "close"]),
+            st.sampled_from(["A", "B", "C", "D"]),
+            st.sampled_from(list(TxStatus)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_event_log_partitions_records(items):
+    records = [
+        make_record(i, activity=activity, keys=[f"case:{case}"], status=status)
+        for i, (activity, case, status) in enumerate(items)
+    ]
+    event_log = EventLog.from_blockchain_log(make_log(records), case_attribute="key:case")
+    assert sum(len(events) for events in event_log.cases().values()) == len(items)
+    # Within each case, commit order is increasing.
+    for events in event_log.cases().values():
+        orders = [e.commit_order for e in events]
+        assert orders == sorted(orders)

@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Kernel
+
+
+def test_events_fire_in_time_order():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(3.0, lambda: fired.append("c"))
+    kernel.schedule(1.0, lambda: fired.append("a"))
+    kernel.schedule(2.0, lambda: fired.append("b"))
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_insertion_order():
+    kernel = Kernel()
+    fired = []
+    for label in "abcde":
+        kernel.schedule(1.0, lambda label=label: fired.append(label))
+    kernel.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(5.5, lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [5.5]
+    assert kernel.now == 5.5
+
+
+def test_schedule_in_past_raises():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(ValueError):
+        kernel.schedule(0.5, lambda: None)
+
+
+def test_schedule_in_negative_delay_raises():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        kernel.schedule_in(-0.1, lambda: None)
+
+
+def test_schedule_in_is_relative():
+    kernel = Kernel()
+    times = []
+    kernel.schedule(2.0, lambda: kernel.schedule_in(3.0, lambda: times.append(kernel.now)))
+    kernel.run()
+    assert times == [5.0]
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    event = kernel.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    kernel.run()
+    assert fired == []
+    assert kernel.events_processed == 0
+
+
+def test_run_until_stops_clock():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append(1))
+    kernel.schedule(10.0, lambda: fired.append(10))
+    kernel.run(until=5.0)
+    assert fired == [1]
+    assert kernel.now == 5.0
+    kernel.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_past_all_events_advances_clock():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run(until=7.0)
+    assert kernel.now == 7.0
+
+
+def test_max_events_limits_processing():
+    kernel = Kernel()
+    fired = []
+    for i in range(10):
+        kernel.schedule(float(i), lambda i=i: fired.append(i))
+    kernel.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_are_processed():
+    kernel = Kernel()
+    fired = []
+
+    def chain(depth: int):
+        fired.append(depth)
+        if depth < 3:
+            kernel.schedule_in(1.0, lambda: chain(depth + 1))
+
+    kernel.schedule(0.0, lambda: chain(0))
+    kernel.run()
+    assert fired == [0, 1, 2, 3]
+    assert kernel.now == 3.0
+
+
+def test_pending_counts_non_cancelled():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    event = kernel.schedule(2.0, lambda: None)
+    event.cancel()
+    assert kernel.pending() == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_property_firing_times_are_sorted(times):
+    kernel = Kernel()
+    observed = []
+    for t in times:
+        kernel.schedule(t, lambda: observed.append(kernel.now))
+    kernel.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancelled_events_never_fire(items):
+    kernel = Kernel()
+    fired = []
+    events = []
+    for t, cancel in items:
+        events.append((kernel.schedule(t, lambda t=t: fired.append(t)), cancel))
+    for event, cancel in events:
+        if cancel:
+            event.cancel()
+    kernel.run()
+    expected = sorted(t for (t, cancel) in items if not cancel)
+    assert fired == expected

@@ -1,0 +1,114 @@
+"""Unit tests for FIFO servers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Server
+
+
+def test_single_job_completes_after_service_time():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    done = []
+    kernel.schedule(1.0, lambda: server.submit(0.5, lambda t: done.append(t)))
+    kernel.run()
+    assert done == [1.5]
+
+
+def test_fifo_queueing():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    done = []
+    kernel.schedule(0.0, lambda: server.submit(1.0, lambda t: done.append(("a", t))))
+    kernel.schedule(0.0, lambda: server.submit(1.0, lambda t: done.append(("b", t))))
+    kernel.schedule(0.1, lambda: server.submit(1.0, lambda t: done.append(("c", t))))
+    kernel.run()
+    assert done == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_on_start_fires_at_service_start():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    starts = []
+    kernel.schedule(0.0, lambda: server.submit(2.0, lambda t: None, on_start=starts.append))
+    kernel.schedule(0.0, lambda: server.submit(1.0, lambda t: None, on_start=starts.append))
+    kernel.run()
+    assert starts == [0.0, 2.0]
+
+
+def test_idle_gap_does_not_accumulate_busy_time():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    kernel.schedule(0.0, lambda: server.submit(1.0, lambda t: None))
+    kernel.schedule(5.0, lambda: server.submit(1.0, lambda t: None))
+    kernel.run()
+    assert server.stats.busy_time == pytest.approx(2.0)
+    assert server.stats.jobs == 2
+    assert server.stats.utilization(10.0) == pytest.approx(0.2)
+
+
+def test_queue_delay_reflects_backlog():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    observed = []
+
+    def submit_two():
+        server.submit(1.0, lambda t: None)
+        server.submit(1.0, lambda t: None)
+        observed.append(server.queue_delay())
+
+    kernel.schedule(0.0, submit_two)
+    kernel.run()
+    assert observed == [2.0]
+
+
+def test_negative_service_time_rejected():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    with pytest.raises(ValueError):
+        server.submit(-1.0, lambda t: None)
+
+
+def test_mean_wait_accounts_queueing():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+
+    def submit_three():
+        for _ in range(3):
+            server.submit(1.0, lambda t: None)
+
+    kernel.schedule(0.0, submit_three)
+    kernel.run()
+    # Waits: 0, 1, 2 -> mean 1.0
+    assert server.stats.mean_wait == pytest.approx(1.0)
+    assert server.stats.max_queue == 3
+
+
+def test_utilization_capped_at_one():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    kernel.schedule(0.0, lambda: server.submit(10.0, lambda t: None))
+    kernel.run()
+    assert server.stats.utilization(1.0) == 1.0
+    assert server.stats.utilization(0.0) == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=30))
+def test_property_completions_ordered_and_spaced(service_times):
+    """FIFO: completion k is at least the sum of the first k service times."""
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    completions = []
+
+    def submit_all():
+        for s in service_times:
+            server.submit(s, completions.append)
+
+    kernel.schedule(0.0, submit_all)
+    kernel.run()
+    assert completions == sorted(completions)
+    running = 0.0
+    for s, done in zip(service_times, completions):
+        running += s
+        assert done == pytest.approx(running)

@@ -1,0 +1,101 @@
+"""Unit tests for seeded RNG streams and Zipf helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SimRng, zipf_weights
+
+
+def test_same_seed_same_draws():
+    a, b = SimRng(42), SimRng(42)
+    assert [a.uniform("x", 0, 1) for _ in range(5)] == [
+        b.uniform("x", 0, 1) for _ in range(5)
+    ]
+
+
+def test_different_seeds_differ():
+    a, b = SimRng(1), SimRng(2)
+    assert [a.uniform("x", 0, 1) for _ in range(5)] != [
+        b.uniform("x", 0, 1) for _ in range(5)
+    ]
+
+
+def test_streams_are_independent():
+    """Drawing extra values from one stream must not shift another."""
+    a, b = SimRng(7), SimRng(7)
+    for _ in range(10):
+        a.uniform("noise", 0, 1)  # extra draws on a different stream
+    assert a.uniform("target", 0, 1) == b.uniform("target", 0, 1)
+
+
+def test_choice_respects_items():
+    rng = SimRng(3)
+    items = ["x", "y", "z"]
+    for _ in range(20):
+        assert rng.choice("c", items) in items
+
+
+def test_choice_empty_raises():
+    with pytest.raises(ValueError):
+        SimRng(1).choice("c", [])
+
+
+def test_exponential_requires_positive_mean():
+    with pytest.raises(ValueError):
+        SimRng(1).exponential("e", 0.0)
+
+
+def test_shuffled_preserves_multiset():
+    rng = SimRng(5)
+    items = list(range(50))
+    shuffled = rng.shuffled("s", items)
+    assert sorted(shuffled) == items
+    assert items == list(range(50))  # original untouched
+
+
+def test_zipf_weights_uniform_at_zero_skew():
+    weights = zipf_weights(10, 0.0)
+    assert np.allclose(weights, 0.1)
+
+
+def test_zipf_weights_monotone_decreasing():
+    weights = zipf_weights(10, 1.5)
+    assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+
+def test_zipf_weights_sum_to_one():
+    for skew in (0.0, 0.5, 1.0, 2.0, 6.0):
+        assert zipf_weights(37, skew).sum() == pytest.approx(1.0)
+
+
+def test_zipf_rejects_bad_args():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(5, -1.0)
+
+
+def test_zipf_index_in_range():
+    rng = SimRng(9)
+    for _ in range(100):
+        assert 0 <= rng.zipf_index("z", 20, 1.0) < 20
+
+
+def test_high_skew_concentrates_on_rank_zero():
+    rng = SimRng(11)
+    draws = [rng.zipf_index("z", 10, 6.0) for _ in range(200)]
+    assert draws.count(0) > 150
+
+
+@given(st.integers(min_value=1, max_value=200), st.floats(min_value=0, max_value=4))
+def test_property_zipf_weights_valid_distribution(n, skew):
+    weights = zipf_weights(n, skew)
+    assert len(weights) == n
+    assert np.all(weights > 0)
+    assert weights.sum() == pytest.approx(1.0)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_stream_determinism_across_instances(seed):
+    assert SimRng(seed).uniform("s", 0, 1) == SimRng(seed).uniform("s", 0, 1)
