@@ -5,22 +5,12 @@ skew-favoured endorsers — 29% (P1) and 26% (P2+skew) throughput gains.
 Shape checks: restructuring raises throughput and lowers latency.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG7_ENDORSER, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = [("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    outcomes = []
-    for experiment, paper in FIG7_ENDORSER.items():
-        outcomes.append(
-            execute_experiment(
-                f"Figure 7 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
-            )
-        )
-    return outcomes
+    return [run_spec(spec) for spec in experiments("fig07_endorser")]
 
 
 def test_fig07_endorser_restructuring(benchmark):

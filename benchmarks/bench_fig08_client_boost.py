@@ -4,18 +4,12 @@ Paper: doubling the overloaded organization's clients cuts latency 75% and
 lifts success rate 7%.  Shape checks: latency drops sharply, success rises.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG8_CLIENT_BOOST, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = [("client resource boost", (K.CLIENT_RESOURCE_BOOST,))]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import get
 
 
 def _run():
-    paper = FIG8_CLIENT_BOOST["tx_dist_skew_70"]
-    return execute_experiment(
-        "Figure 8 / tx_dist_skew_70", make_synthetic("tx_dist_skew_70"), PLANS, paper=paper
-    )
+    return run_spec(get("fig08_client_boost/tx_dist_skew_70"))
 
 
 def test_fig08_client_boost(benchmark):

@@ -6,20 +6,12 @@ improves the high-send-rate runs.  Shape checks: large gains for the small
 block counts, non-degradation for the rate experiments.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG9_BLOCK_SIZE, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = [("block size adaptation", (K.BLOCK_SIZE_ADAPTATION,))]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    return [
-        execute_experiment(
-            f"Figure 9 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
-        )
-        for experiment, paper in FIG9_BLOCK_SIZE.items()
-    ]
+    return [run_spec(spec) for spec in experiments("fig09_block_size")]
 
 
 def test_fig09_block_size(benchmark):

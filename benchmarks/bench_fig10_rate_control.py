@@ -5,20 +5,12 @@ and success-rate gains (up to 87% / 36%).  Shape checks per experiment:
 success rises, latency falls, throughput lands near the controlled rate.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG10_RATE_CONTROL, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = [("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    return [
-        execute_experiment(
-            f"Figure 10 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
-        )
-        for experiment, paper in FIG10_RATE_CONTROL.items()
-    ]
+    return [run_spec(spec) for spec in experiments("fig10_rate_control")]
 
 
 def test_fig10_rate_control(benchmark):

@@ -5,20 +5,12 @@ configuration (up to +65% throughput / +58% success for RangeRead-heavy).
 Shape checks: success never degrades and improves for the large majority.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG11_REORDERING, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = [("activity reordering", (K.ACTIVITY_REORDERING,))]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    return [
-        execute_experiment(
-            f"Figure 11 / {experiment}", make_synthetic(experiment), PLANS, paper=paper
-        )
-        for experiment, paper in FIG11_REORDERING.items()
-    ]
+    return [run_spec(spec) for spec in experiments("fig11_reordering")]
 
 
 def test_fig11_reordering(benchmark):

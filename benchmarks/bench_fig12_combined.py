@@ -5,32 +5,14 @@ up to +93% throughput / +85% success (block count 50).  Shape checks:
 success improves everywhere; the collapsed block-count-50 run recovers.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG12_COMBINED, TABLE3_EXPECTED, make_synthetic
-from repro.core import OptimizationKind as K
-
-
-def _plans_for(experiment: str):
-    """Apply exactly the optimizations the paper recommends (Table 3)."""
-    kinds = tuple(
-        sorted(
-            TABLE3_EXPECTED.get(experiment, {K.TRANSACTION_RATE_CONTROL}),
-            key=lambda k: k.value,
-        )
-    )
-    return [("all", kinds)]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    return [
-        execute_experiment(
-            f"Figure 12 / {experiment}",
-            make_synthetic(experiment),
-            _plans_for(experiment),
-            paper=paper,
-        )
-        for experiment, paper in FIG12_COMBINED.items()
-    ]
+    # The registry's fig12 plans apply exactly the paper's Table 3
+    # recommendations per experiment.
+    return [run_spec(spec) for spec in experiments("fig12_combined")]
 
 
 def test_fig12_combined(benchmark):

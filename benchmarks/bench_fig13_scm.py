@@ -5,14 +5,12 @@ control, and the combination all improve on the baseline.  Shape checks:
 each optimization improves success; reordering also improves throughput.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG13_SCM, make_usecase, usecase_plans
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import get
 
 
 def _run():
-    return execute_experiment(
-        "Figure 13 / SCM", make_usecase("scm"), usecase_plans("scm"), paper=FIG13_SCM
-    )
+    return run_spec(get("fig13_scm/scm"))
 
 
 def test_fig13_scm(benchmark):

@@ -6,14 +6,12 @@ calcRevenue aggregation), reordering (>50% gains), partitioning (+35% /
 improves success; delta writes raise average latency.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG14_DRM, make_usecase, usecase_plans
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import get
 
 
 def _run():
-    return execute_experiment(
-        "Figure 14 / DRM", make_usecase("drm"), usecase_plans("drm"), paper=FIG14_DRM
-    )
+    return run_spec(get("fig14_drm/drm"))
 
 
 def test_fig14_drm(benchmark):

@@ -4,14 +4,12 @@ Paper: reordering (+60-65% tput/success), pruning (+43%), rate control
 (+69% success), all combined.  Shape checks per optimization.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG15_EHR, make_usecase, usecase_plans
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import get
 
 
 def _run():
-    return execute_experiment(
-        "Figure 15 / EHR", make_usecase("ehr"), usecase_plans("ehr"), paper=FIG15_EHR
-    )
+    return run_spec(get("fig15_ehr/ehr"))
 
 
 def test_fig15_ehr(benchmark):

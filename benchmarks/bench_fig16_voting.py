@@ -5,14 +5,12 @@ model to key votes by voterID removes all dependencies (100% success).
 Shape checks: alteration reaches ~100% success and multiplies throughput.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG16_DV, make_usecase, usecase_plans
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import get
 
 
 def _run():
-    return execute_experiment(
-        "Figure 16 / DV", make_usecase("voting"), usecase_plans("voting"), paper=FIG16_DV
-    )
+    return run_spec(get("fig16_voting/voting"))
 
 
 def test_fig16_voting(benchmark):

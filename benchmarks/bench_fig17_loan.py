@@ -6,29 +6,12 @@ Shape checks: alteration improves success/throughput at both rates; rate
 control helps the 300 TPS run.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG17_LAP, make_loan
-from repro.core import OptimizationKind as K
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    low = execute_experiment(
-        "Figure 17 / LAP send_rate_10",
-        make_loan(10.0),
-        [("data model alteration", (K.DATA_MODEL_ALTERATION,))],
-        paper=FIG17_LAP["send_rate_10"],
-    )
-    high = execute_experiment(
-        "Figure 17 / LAP send_rate_300",
-        make_loan(300.0),
-        [
-            ("data model alteration", (K.DATA_MODEL_ALTERATION,)),
-            ("transaction rate control", (K.TRANSACTION_RATE_CONTROL,)),
-            ("all", (K.DATA_MODEL_ALTERATION, K.TRANSACTION_RATE_CONTROL)),
-        ],
-        paper=FIG17_LAP["send_rate_300"],
-    )
-    return [low, high]
+    return [run_spec(spec) for spec in experiments("fig17_loan")]
 
 
 def test_fig17_loan(benchmark):

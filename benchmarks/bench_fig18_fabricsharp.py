@@ -6,27 +6,12 @@ further gains.  Shape checks: the scheduler keeps baseline success above
 plain Fabric's, and each recommendation still improves its target metric.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG18_FABRICSHARP, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = {
-    "endorsement_policy_p1": [("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))],
-    "endorsement_policy_p2_skew": [("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))],
-    "workload_insert_heavy": [("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))],
-}
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    return [
-        execute_experiment(
-            f"Figure 18 / {experiment}",
-            make_synthetic(experiment, scheduler="fabricsharp"),
-            PLANS[experiment],
-            paper=paper,
-        )
-        for experiment, paper in FIG18_FABRICSHARP.items()
-    ]
+    return [run_spec(spec) for spec in experiments("fig18_fabricsharp")]
 
 
 def test_fig18_fabricsharp(benchmark):

@@ -5,27 +5,12 @@ heavy), rate control and activity reordering still deliver up to +55%
 throughput and +46% success on top of the system-level optimizer.
 """
 
-from repro.bench import execute_experiment, format_paper_comparison
-from repro.bench.experiments import FIG19_FABRICPP, make_synthetic
-from repro.core import OptimizationKind as K
-
-PLANS = [
-    ("transaction rate control", (K.TRANSACTION_RATE_CONTROL,)),
-    ("activity reordering", (K.ACTIVITY_REORDERING,)),
-    ("all", (K.TRANSACTION_RATE_CONTROL, K.ACTIVITY_REORDERING)),
-]
+from repro.bench import format_paper_comparison, run_spec
+from repro.bench.registry import experiments
 
 
 def _run_all():
-    return [
-        execute_experiment(
-            f"Figure 19 / {experiment}",
-            make_synthetic(experiment, scheduler="fabricpp"),
-            PLANS,
-            paper=paper,
-        )
-        for experiment, paper in FIG19_FABRICPP.items()
-    ]
+    return [run_spec(spec) for spec in experiments("fig19_fabricpp")]
 
 
 def test_fig19_fabricpp(benchmark):

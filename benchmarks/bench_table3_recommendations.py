@@ -9,9 +9,10 @@ paper's *primary* recommendation per experiment is reproduced, and the
 overall Jaccard agreement stays above 0.5.
 """
 
-from repro.bench.experiments import TABLE3_EXPECTED, make_synthetic
-from repro.core import BlockOptR, OptimizationKind as K
-from repro.fabric import run_workload
+from repro.bench import run_spec
+from repro.bench.experiments import TABLE3_EXPECTED
+from repro.bench.registry import experiments
+from repro.core import OptimizationKind as K
 
 #: The recommendation that defines each experiment's figure placement.
 PRIMARY = {
@@ -35,14 +36,12 @@ PRIMARY = {
 
 def _run_all():
     rows = []
-    for experiment, expected in TABLE3_EXPECTED.items():
-        config, family, requests = make_synthetic(experiment)()
-        deployment = family.deploy()
-        network, _ = run_workload(config, deployment.contracts, requests)
-        report = BlockOptR().analyze_network(network)
-        got = report.recommended_kinds()
+    for spec in experiments("table3"):
+        outcome = run_spec(spec)
+        got = {K(value) for value in outcome.recommendations}
+        expected = TABLE3_EXPECTED[spec.variant]
         jaccard = len(got & expected) / len(got | expected) if (got | expected) else 1.0
-        rows.append((experiment, expected, got, jaccard))
+        rows.append((spec.variant, expected, got, jaccard))
     return rows
 
 

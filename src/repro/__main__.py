@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard is load-bearing: on spawn/forkserver platforms
+multiprocessing re-imports ``__main__`` in every worker the suite
+executor starts, and an unguarded ``sys.exit(main())`` would kill the
+worker with an argparse usage error during bootstrap.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

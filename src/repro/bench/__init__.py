@@ -7,6 +7,8 @@ rate, without vs with).  :mod:`~repro.bench.experiments` holds the
 experiment definitions and the paper's reported values for comparison.
 """
 
+from repro.bench.cache import ResultCache
+from repro.bench.executor import SuiteReport, derive_seed, run_spec, run_suite
 from repro.bench.harness import (
     ExperimentOutcome,
     RunRow,
@@ -14,14 +16,21 @@ from repro.bench.harness import (
     execute_experiment,
     run_usecase_demo,
 )
+from repro.bench.registry import ExperimentSpec
 from repro.bench.tables import format_outcome, format_paper_comparison
 
 __all__ = [
     "ExperimentOutcome",
+    "ExperimentSpec",
+    "ResultCache",
     "RunRow",
+    "SuiteReport",
     "default_recommendation",
+    "derive_seed",
     "execute_experiment",
     "format_outcome",
     "format_paper_comparison",
+    "run_spec",
+    "run_suite",
     "run_usecase_demo",
 ]

@@ -1,0 +1,146 @@
+"""Content-addressed, on-disk cache of experiment results.
+
+One JSON file per experiment under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``).  The file
+name is a SHA-256 over
+
+* the experiment's declarative identity (:meth:`ExperimentSpec.payload`:
+  bundle factory + args, scheduler, seed, resolved transaction budget,
+  optimization plans), and
+* a *code version* — a hash over every ``repro`` source file — so any
+  change to the simulator, workloads or recommender invalidates every
+  cached result automatically.
+
+A warm suite re-run therefore performs zero simulation runs; nothing ever
+needs manual invalidation beyond deleting the directory (or ``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.bench.harness import ExperimentOutcome, RunRow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.bench.registry import ExperimentSpec
+
+#: Bump to invalidate every existing cache entry on format changes.
+CACHE_FORMAT = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of every ``repro`` source file (path + contents)."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
+    """JSON-able form of an outcome (the analysis report is not kept)."""
+    return {
+        "name": outcome.name,
+        "rows": [
+            {
+                "label": row.label,
+                "throughput": row.throughput,
+                "latency": row.latency,
+                "success_pct": row.success_pct,
+                "applied": list(row.applied),
+                "forced": row.forced,
+            }
+            for row in outcome.rows
+        ],
+        "recommendations": list(outcome.recommendations),
+        "paper": {label: list(values) for label, values in outcome.paper.items()},
+    }
+
+
+def outcome_from_dict(data: dict) -> ExperimentOutcome:
+    return ExperimentOutcome(
+        name=data["name"],
+        rows=[
+            RunRow(
+                label=row["label"],
+                throughput=row["throughput"],
+                latency=row["latency"],
+                success_pct=row["success_pct"],
+                applied=tuple(row["applied"]),
+                forced=row["forced"],
+            )
+            for row in data["rows"]
+        ],
+        recommendations=list(data["recommendations"]),
+        paper={label: tuple(values) for label, values in data["paper"].items()},
+    )
+
+
+class ResultCache:
+    """Maps an :class:`ExperimentSpec` to a cached :class:`ExperimentOutcome`."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(
+            root
+            if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+
+    def key(self, spec: "ExperimentSpec") -> str:
+        identity = {
+            "format": CACHE_FORMAT,
+            "code": code_version(),
+            "spec": spec.payload(),
+        }
+        blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path(self, spec: "ExperimentSpec") -> Path:
+        return self.root / f"{self.key(spec)}.json"
+
+    def get(self, spec: "ExperimentSpec") -> ExperimentOutcome | None:
+        """The cached outcome, or ``None`` on miss or a corrupt entry."""
+        path = self.path(spec)
+        try:
+            data = json.loads(path.read_text())
+            return outcome_from_dict(data["outcome"])
+        except FileNotFoundError:
+            return None
+        except (KeyError, TypeError, ValueError, OSError):
+            # A truncated/garbled entry behaves like a miss; the re-run
+            # overwrites it.
+            return None
+
+    def put(self, spec: "ExperimentSpec", outcome: ExperimentOutcome) -> Path:
+        path = self.path(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {
+            "exp_id": spec.exp_id,
+            "spec": spec.payload(),
+            "outcome": outcome_to_dict(outcome),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

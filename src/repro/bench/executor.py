@@ -1,0 +1,255 @@
+"""Parallel experiment executor: fan experiments out over a process pool.
+
+The paper's protocol (run → analyze → apply recommendations → re-run) is
+embarrassingly parallel across experiments, and within one experiment the
+per-plan optimized runs are independent of one another once the baseline
+has been analyzed.  The executor exploits both levels:
+
+* **wave 1** — one pool task per experiment runs the baseline workload,
+  analyzes it with BlockOptR and resolves each plan's recommendations;
+* **wave 2** — as each baseline completes, one pool task per plan applies
+  the resolved recommendations to a freshly generated bundle and re-runs.
+
+Because the simulator is fully deterministic for a fixed seed (the kernel
+breaks ties by insertion order and nothing depends on process state), the
+fan-out is bit-for-bit equivalent to serial :func:`execute_experiment`
+output — ``tests/test_executor_equivalence.py`` pins this down.
+
+Results are memoized via :class:`~repro.bench.cache.ResultCache`; a warm
+re-run performs zero simulation runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bench.cache import ResultCache
+from repro.bench.harness import (
+    ExperimentOutcome,
+    RunRow,
+    default_recommendation,
+    execute_experiment,
+)
+from repro.bench.registry import ExperimentSpec
+from repro.core.apply import apply_recommendations
+from repro.core.recommendations import Recommendation
+from repro.core.recommender import BlockOptR
+from repro.fabric.network import run_workload
+
+#: Optional progress sink: called with one human-readable line per event.
+Progress = Callable[[str], None]
+
+
+def derive_seed(base_seed: int, name: str) -> int:
+    """Deterministic per-experiment seed from a base seed and a run name.
+
+    Stable across processes and Python versions (unlike ``hash()``), so a
+    suite run with ``--seed N`` gives every experiment its own
+    reproducible stream.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
+@dataclass
+class SuiteReport:
+    """What one suite invocation did and produced."""
+
+    outcomes: list[ExperimentOutcome] = field(default_factory=list)
+    #: exp_ids actually simulated this invocation.
+    executed: list[str] = field(default_factory=list)
+    #: exp_ids served from the result cache.
+    cached: list[str] = field(default_factory=list)
+    #: Workload simulations performed (0 on a fully warm cache).
+    simulated_runs: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    def summary(self) -> str:
+        return (
+            f"suite: {len(self.outcomes)} experiments "
+            f"({len(self.cached)} cached, {len(self.executed)} executed), "
+            f"{self.simulated_runs} simulation runs, "
+            f"{self.wall_seconds:.1f}s wall, jobs={self.jobs}"
+        )
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentOutcome:
+    """Run one experiment serially, exactly as the bench scripts always have."""
+    return execute_experiment(
+        spec.title, spec.make_bundle(), spec.resolved_plans(), paper=spec.paper_dict()
+    )
+
+
+# -- pool worker tasks --------------------------------------------------------------
+#
+# Top-level functions (picklable) receiving declarative specs; each task
+# regenerates its bundle from the spec, which is deterministic and keeps
+# the payload shipped between processes tiny.
+
+
+@dataclass
+class _BaselineResult:
+    exp_id: str
+    row: RunRow
+    recommendations: list[str]
+    #: Per plan: (label, resolved recommendations, forced flag).
+    plan_tasks: list[tuple[str, tuple[Recommendation, ...], bool]]
+
+
+def _baseline_task(spec: ExperimentSpec) -> _BaselineResult:
+    """Wave 1: baseline run + analysis + plan resolution (mirrors
+    the first half of :func:`repro.bench.harness.execute_experiment`)."""
+    config, family, requests = spec.make_bundle()()
+    deployment = family.deploy()
+    network, baseline = run_workload(config, deployment.contracts, requests)
+    report = BlockOptR().analyze_network(network)
+    recommended = report.recommended_kinds()
+
+    plan_tasks = []
+    for label, kinds in spec.resolved_plans():
+        recs: list[Recommendation] = []
+        forced = False
+        for kind in kinds:
+            if kind in recommended:
+                recs.append(report.get(kind))
+            else:
+                recs.append(default_recommendation(kind, report))
+                forced = True
+        plan_tasks.append((label, tuple(recs), forced))
+
+    return _BaselineResult(
+        exp_id=spec.exp_id,
+        row=RunRow.from_result("without", baseline),
+        recommendations=sorted(kind.value for kind in recommended),
+        plan_tasks=plan_tasks,
+    )
+
+
+def _plan_task(
+    spec: ExperimentSpec, label: str, recs: tuple[Recommendation, ...], forced: bool
+) -> RunRow:
+    """Wave 2: apply one plan's recommendations and re-run (mirrors the
+    per-plan loop of :func:`repro.bench.harness.execute_experiment`)."""
+    config, family, requests = spec.make_bundle()()
+    applied = apply_recommendations(list(recs), config, family, requests)
+    _, optimized = run_workload(
+        applied.config, applied.deployment.contracts, applied.requests
+    )
+    return RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
+
+
+# -- the suite runner ---------------------------------------------------------------
+
+
+def run_suite(
+    specs: Sequence[ExperimentSpec],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
+) -> SuiteReport:
+    """Run ``specs``, fanning out over ``jobs`` worker processes.
+
+    ``cache=None`` disables caching entirely.  Outcomes come back in the
+    order of ``specs`` regardless of completion order.  ``jobs <= 1``
+    executes serially in-process (the reference path the parallel one is
+    tested against).
+    """
+    started = time.perf_counter()
+    report = SuiteReport(jobs=max(1, jobs))
+    note = progress or (lambda message: None)
+
+    outcomes: dict[str, ExperimentOutcome] = {}
+    to_run: list[ExperimentSpec] = []
+    for spec in specs:
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            outcomes[spec.exp_id] = hit
+            report.cached.append(spec.exp_id)
+            note(f"cached   {spec.exp_id}")
+        else:
+            to_run.append(spec)
+
+    if to_run and report.jobs == 1:
+        for spec in to_run:
+            outcome = run_spec(spec)
+            outcomes[spec.exp_id] = outcome
+            report.executed.append(spec.exp_id)
+            report.simulated_runs += spec.run_count()
+            if cache is not None:
+                cache.put(spec, outcome)
+            note(f"executed {spec.exp_id}")
+    elif to_run:
+        _run_parallel(to_run, report, outcomes, cache, note)
+
+    report.outcomes = [outcomes[spec.exp_id] for spec in specs]
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def _run_parallel(
+    to_run: list[ExperimentSpec],
+    report: SuiteReport,
+    outcomes: dict[str, ExperimentOutcome],
+    cache: ResultCache | None,
+    note: Progress,
+) -> None:
+    by_id = {spec.exp_id: spec for spec in to_run}
+    baselines: dict[str, _BaselineResult] = {}
+    # exp_id -> {plan index -> RunRow}, filled as wave-2 tasks finish.
+    # Keyed by index, not label: duplicate plan labels must still produce
+    # one row each, exactly as the serial path does.
+    plan_rows: dict[str, dict[int, RunRow]] = {spec.exp_id: {} for spec in to_run}
+    plans_open: dict[str, int] = {}
+
+    with ProcessPoolExecutor(max_workers=report.jobs) as pool:
+        futures = {
+            pool.submit(_baseline_task, spec): ("baseline", spec.exp_id, None)
+            for spec in to_run
+        }
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                kind, exp_id, plan_index = futures.pop(future)
+                spec = by_id[exp_id]
+                if kind == "baseline":
+                    result: _BaselineResult = future.result()
+                    baselines[exp_id] = result
+                    report.simulated_runs += 1
+                    plans_open[exp_id] = len(result.plan_tasks)
+                    for index, (plan_label, recs, forced) in enumerate(
+                        result.plan_tasks
+                    ):
+                        plan_future = pool.submit(
+                            _plan_task, spec, plan_label, recs, forced
+                        )
+                        futures[plan_future] = ("plan", exp_id, index)
+                else:
+                    plan_rows[exp_id][plan_index] = future.result()
+                    report.simulated_runs += 1
+                    plans_open[exp_id] -= 1
+                if plans_open.get(exp_id) == 0:
+                    outcome = _assemble(spec, baselines[exp_id], plan_rows[exp_id])
+                    outcomes[exp_id] = outcome
+                    report.executed.append(exp_id)
+                    if cache is not None:
+                        cache.put(spec, outcome)
+                    note(f"executed {exp_id}")
+
+
+def _assemble(
+    spec: ExperimentSpec, baseline: _BaselineResult, rows_by_index: dict[int, RunRow]
+) -> ExperimentOutcome:
+    """Rows in plan order, identical to what ``execute_experiment`` builds."""
+    rows = [baseline.row]
+    rows.extend(rows_by_index[index] for index in range(len(spec.plans)))
+    return ExperimentOutcome(
+        name=spec.title,
+        rows=rows,
+        recommendations=baseline.recommendations,
+        paper=spec.paper_dict(),
+    )

@@ -41,9 +41,15 @@ from repro.workloads.usecases import (
 SCALE_TXS = int(os.environ.get("REPRO_BENCH_TXS", "4000"))
 
 
-def scaled(paper_count: int) -> int:
-    """Scale one of the paper's transaction counts to the bench budget."""
-    return max(100, round(paper_count * SCALE_TXS / 10_000))
+def scaled(paper_count: int, total: int | None = None) -> int:
+    """Scale one of the paper's per-10,000-transaction counts to a budget.
+
+    ``total`` defaults to the bench budget (``REPRO_BENCH_TXS``); pass an
+    explicit budget to scale consistently under overrides.  Single source
+    for every derived count (loan applications, voting query/vote split).
+    """
+    budget = SCALE_TXS if total is None else total
+    return max(100, round(paper_count * budget / 10_000))
 
 
 # -- Table 3: the 15 synthetic experiments ---------------------------------------
@@ -105,16 +111,42 @@ def synthetic_spec(experiment: str, seed: int = 7) -> ControlVariables:
     return spec
 
 
-def make_synthetic(experiment: str, seed: int = 7, scheduler: str = "fifo") -> MakeBundle:
-    """Bundle factory for a named synthetic experiment."""
+def make_synthetic(
+    experiment: str,
+    seed: int = 7,
+    scheduler: str = "fifo",
+    total_transactions: int | None = None,
+) -> MakeBundle:
+    """Bundle factory for a named synthetic experiment.
+
+    ``total_transactions`` overrides the bench budget (tests use small
+    runs); phased schedules rescale their per-phase counts proportionally.
+    """
 
     def make():
         spec = synthetic_spec(experiment, seed=seed)
         spec.scheduler = scheduler
+        if total_transactions is not None:
+            _rescale_transactions(spec, total_transactions)
         config, _, requests = synthetic_workload(spec)
         return config, genchain_family(num_keys=spec.num_keys), requests
 
     return make
+
+
+def _rescale_transactions(spec: ControlVariables, total: int) -> None:
+    """Set a new transaction budget, keeping phase proportions intact."""
+    if spec.send_rate_phases:
+        old_total = sum(count for count, _ in spec.send_rate_phases)
+        phases = [
+            (max(1, round(count * total / old_total)), rate)
+            for count, rate in spec.send_rate_phases[:-1]
+        ]
+        consumed = sum(count for count, _ in phases)
+        phases.append((max(1, total - consumed), spec.send_rate_phases[-1][1]))
+        spec.send_rate_phases = phases
+        total = sum(count for count, _ in phases)
+    spec.total_transactions = total
 
 
 #: Table 3: experiment -> the recommendations the paper reports.
@@ -412,13 +444,13 @@ def make_usecase(
         if usecase == "voting":
             config, _, requests = voting_workload(
                 spec,
-                query_count=scaled(1000),
-                vote_count=scaled(5000),
+                query_count=scaled(1000, total),
+                vote_count=scaled(5000, total),
             )
             return config, voting_family(), requests
         if usecase == "loan":
             events = generate_loan_event_log(
-                num_applications=scaled(2000), seed=seed
+                num_applications=scaled(2000, total), seed=seed
             )
             config, _, requests = loan_workload(
                 UseCaseSpec(seed=seed), events=events, send_rate=10.0
@@ -434,11 +466,16 @@ def make_usecase(
     return make
 
 
-def make_loan(send_rate: float, seed: int = 7) -> MakeBundle:
+def make_loan(
+    send_rate: float, seed: int = 7, num_applications: int | None = None
+) -> MakeBundle:
     """LAP bundle at a specific send rate (the paper runs 10 and 300 TPS)."""
 
     def make():
-        events = generate_loan_event_log(num_applications=scaled(2000), seed=seed)
+        applications = (
+            num_applications if num_applications is not None else scaled(2000)
+        )
+        events = generate_loan_event_log(num_applications=applications, seed=seed)
         config, _, requests = loan_workload(
             UseCaseSpec(seed=seed), events=events, send_rate=send_rate
         )

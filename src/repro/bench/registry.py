@@ -1,0 +1,355 @@
+"""Declarative run table: every figure/use-case experiment as an ExperimentSpec.
+
+The bench scripts under ``benchmarks/``, the suite runner (``python -m
+repro suite``) and ``scripts/generate_experiments_md.py`` all pull their
+experiment definitions from this registry, so the set of runs behind the
+paper's tables and figures exists in exactly one place.
+
+An :class:`ExperimentSpec` is fully declarative — plain strings, numbers
+and tuples — which makes it hashable, picklable (process-pool workers
+receive specs, not closures) and JSON-serializable (the result cache keys
+on the spec payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.bench import experiments as defs
+from repro.bench.harness import MakeBundle
+from repro.core.recommendations import OptimizationKind as K
+
+#: (label, (OptimizationKind values, ...)) — kinds stored by value so the
+#: spec stays declarative; resolve with :meth:`ExperimentSpec.resolved_plans`.
+PlanTable = tuple[tuple[str, tuple[str, ...]], ...]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment of the paper as a declarative, picklable record."""
+
+    #: Stable identifier, ``<group>/<variant>`` (e.g. ``fig09_block_size/block_count_50``).
+    exp_id: str
+    group: str
+    variant: str
+    #: Human title matching the historical bench output (``Figure 9 / ...``).
+    title: str
+    #: Bundle factory kind: ``synthetic``, ``usecase`` or ``loan``.
+    maker: str
+    maker_args: tuple = ()
+    scheduler: str = "fifo"
+    seed: int = 7
+    #: ``None`` means the bench budget (``REPRO_BENCH_TXS``) at run time.
+    total_transactions: int | None = None
+    plans: PlanTable = ()
+    #: ((row label, (tput, lat, succ%)), ...) — the paper's reported values.
+    paper: tuple[tuple[str, tuple[float, float, float]], ...] = ()
+
+    # -- derived views -----------------------------------------------------------
+
+    def make_bundle(self) -> MakeBundle:
+        """Materialize the bundle factory this spec describes."""
+        if self.maker == "synthetic":
+            (experiment,) = self.maker_args
+            return defs.make_synthetic(
+                experiment,
+                seed=self.seed,
+                scheduler=self.scheduler,
+                total_transactions=self.total_transactions,
+            )
+        if self.maker == "usecase":
+            (usecase,) = self.maker_args
+            return defs.make_usecase(
+                usecase, total_transactions=self.total_transactions, seed=self.seed
+            )
+        if self.maker == "loan":
+            (send_rate,) = self.maker_args
+            applications = (
+                None
+                if self.total_transactions is None
+                else defs.scaled(2000, self.total_transactions)
+            )
+            return defs.make_loan(
+                float(send_rate), seed=self.seed, num_applications=applications
+            )
+        raise KeyError(f"unknown bundle maker {self.maker!r}")
+
+    def resolved_plans(self) -> list[tuple[str, tuple[K, ...]]]:
+        """Plans with the optimization kinds resolved to enum members."""
+        return [
+            (label, tuple(K(value) for value in values))
+            for label, values in self.plans
+        ]
+
+    def paper_dict(self) -> dict[str, tuple[float, float, float]]:
+        return {label: values for label, values in self.paper}
+
+    def run_count(self) -> int:
+        """Simulation runs this experiment performs (baseline + plans)."""
+        return 1 + len(self.plans)
+
+    def with_overrides(
+        self, seed: int | None = None, total_transactions: int | None = None
+    ) -> "ExperimentSpec":
+        """A copy with the seed and/or transaction budget replaced."""
+        spec = self
+        if seed is not None:
+            spec = replace(spec, seed=seed)
+        if total_transactions is not None:
+            spec = replace(spec, total_transactions=total_transactions)
+        return spec
+
+    def payload(self) -> dict:
+        """JSON-able identity of this spec, used for cache keying.
+
+        The *resolved* transaction budget is part of the identity so runs
+        at different ``REPRO_BENCH_TXS`` never collide.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "maker": self.maker,
+            "maker_args": list(self.maker_args),
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "total_transactions": (
+                self.total_transactions
+                if self.total_transactions is not None
+                else defs.SCALE_TXS
+            ),
+            "plans": [[label, list(values)] for label, values in self.plans],
+        }
+
+
+# -- registry construction ---------------------------------------------------------
+
+
+def _plan(label: str, kinds: tuple[K, ...]) -> tuple[str, tuple[str, ...]]:
+    return (label, tuple(kind.value for kind in kinds))
+
+
+def _paper_rows(table: dict) -> tuple:
+    return tuple((label, tuple(values)) for label, values in table.items())
+
+
+def _synthetic_group(
+    group: str,
+    figure: str,
+    table: dict,
+    plans_for: dict | list,
+    scheduler: str = "fifo",
+) -> tuple[ExperimentSpec, ...]:
+    specs = []
+    for variant, paper in table.items():
+        plans = plans_for[variant] if isinstance(plans_for, dict) else plans_for
+        specs.append(
+            ExperimentSpec(
+                exp_id=f"{group}/{variant}",
+                group=group,
+                variant=variant,
+                title=f"{figure} / {variant}",
+                maker="synthetic",
+                maker_args=(variant,),
+                scheduler=scheduler,
+                plans=tuple(plans),
+                paper=_paper_rows(paper),
+            )
+        )
+    return tuple(specs)
+
+
+def _combined_plans(variant: str) -> list:
+    """Figure 12 applies exactly the paper's Table 3 recommendations."""
+    kinds = tuple(
+        sorted(
+            defs.TABLE3_EXPECTED.get(variant, {K.TRANSACTION_RATE_CONTROL}),
+            key=lambda kind: kind.value,
+        )
+    )
+    return [_plan("all", kinds)]
+
+
+def _usecase_spec(
+    group: str, figure: str, usecase: str, paper: dict
+) -> tuple[ExperimentSpec, ...]:
+    plans = tuple(
+        _plan(label, kinds) for label, kinds in defs.usecase_plans(usecase)
+    )
+    return (
+        ExperimentSpec(
+            exp_id=f"{group}/{usecase}",
+            group=group,
+            variant=usecase,
+            title=figure,
+            maker="usecase",
+            maker_args=(usecase,),
+            plans=plans,
+            paper=_paper_rows(paper),
+        ),
+    )
+
+
+def _build_registry() -> dict[str, tuple[ExperimentSpec, ...]]:
+    restructuring = [_plan("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))]
+    rate_control = [_plan("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))]
+    registry: dict[str, tuple[ExperimentSpec, ...]] = {
+        "table3": tuple(
+            ExperimentSpec(
+                exp_id=f"table3/{variant}",
+                group="table3",
+                variant=variant,
+                title=f"Table 3 / {variant}",
+                maker="synthetic",
+                maker_args=(variant,),
+            )
+            for variant in defs.TABLE3_EXPECTED
+        ),
+        "fig07_endorser": _synthetic_group(
+            "fig07_endorser", "Figure 7", defs.FIG7_ENDORSER, restructuring
+        ),
+        "fig08_client_boost": _synthetic_group(
+            "fig08_client_boost",
+            "Figure 8",
+            defs.FIG8_CLIENT_BOOST,
+            [_plan("client resource boost", (K.CLIENT_RESOURCE_BOOST,))],
+        ),
+        "fig09_block_size": _synthetic_group(
+            "fig09_block_size",
+            "Figure 9",
+            defs.FIG9_BLOCK_SIZE,
+            [_plan("block size adaptation", (K.BLOCK_SIZE_ADAPTATION,))],
+        ),
+        "fig10_rate_control": _synthetic_group(
+            "fig10_rate_control", "Figure 10", defs.FIG10_RATE_CONTROL, rate_control
+        ),
+        "fig11_reordering": _synthetic_group(
+            "fig11_reordering",
+            "Figure 11",
+            defs.FIG11_REORDERING,
+            [_plan("activity reordering", (K.ACTIVITY_REORDERING,))],
+        ),
+        "fig12_combined": _synthetic_group(
+            "fig12_combined",
+            "Figure 12",
+            defs.FIG12_COMBINED,
+            {variant: _combined_plans(variant) for variant in defs.FIG12_COMBINED},
+        ),
+        "fig13_scm": _usecase_spec("fig13_scm", "Figure 13 / SCM", "scm", defs.FIG13_SCM),
+        "fig14_drm": _usecase_spec("fig14_drm", "Figure 14 / DRM", "drm", defs.FIG14_DRM),
+        "fig15_ehr": _usecase_spec("fig15_ehr", "Figure 15 / EHR", "ehr", defs.FIG15_EHR),
+        "fig16_voting": _usecase_spec(
+            "fig16_voting", "Figure 16 / DV", "voting", defs.FIG16_DV
+        ),
+        "fig17_loan": (
+            ExperimentSpec(
+                exp_id="fig17_loan/send_rate_10",
+                group="fig17_loan",
+                variant="send_rate_10",
+                title="Figure 17 / LAP send_rate_10",
+                maker="loan",
+                maker_args=(10.0,),
+                plans=(_plan("data model alteration", (K.DATA_MODEL_ALTERATION,)),),
+                paper=_paper_rows(defs.FIG17_LAP["send_rate_10"]),
+            ),
+            ExperimentSpec(
+                exp_id="fig17_loan/send_rate_300",
+                group="fig17_loan",
+                variant="send_rate_300",
+                title="Figure 17 / LAP send_rate_300",
+                maker="loan",
+                maker_args=(300.0,),
+                plans=(
+                    _plan("data model alteration", (K.DATA_MODEL_ALTERATION,)),
+                    _plan("transaction rate control", (K.TRANSACTION_RATE_CONTROL,)),
+                    _plan(
+                        "all",
+                        (K.DATA_MODEL_ALTERATION, K.TRANSACTION_RATE_CONTROL),
+                    ),
+                ),
+                paper=_paper_rows(defs.FIG17_LAP["send_rate_300"]),
+            ),
+        ),
+        "fig18_fabricsharp": _synthetic_group(
+            "fig18_fabricsharp",
+            "Figure 18",
+            defs.FIG18_FABRICSHARP,
+            {
+                "endorsement_policy_p1": restructuring,
+                "endorsement_policy_p2_skew": restructuring,
+                "workload_insert_heavy": rate_control,
+            },
+            scheduler="fabricsharp",
+        ),
+        "fig19_fabricpp": _synthetic_group(
+            "fig19_fabricpp",
+            "Figure 19",
+            defs.FIG19_FABRICPP,
+            [
+                _plan("transaction rate control", (K.TRANSACTION_RATE_CONTROL,)),
+                _plan("activity reordering", (K.ACTIVITY_REORDERING,)),
+                _plan(
+                    "all", (K.TRANSACTION_RATE_CONTROL, K.ACTIVITY_REORDERING)
+                ),
+            ],
+            scheduler="fabricpp",
+        ),
+    }
+    return registry
+
+
+REGISTRY: dict[str, tuple[ExperimentSpec, ...]] = _build_registry()
+
+
+def groups() -> list[str]:
+    """All experiment group names, in figure order."""
+    return list(REGISTRY)
+
+
+def experiments(group: str) -> tuple[ExperimentSpec, ...]:
+    """The specs of one group (e.g. ``fig09_block_size``)."""
+    try:
+        return REGISTRY[group]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment group {group!r}; known: {', '.join(REGISTRY)}"
+        ) from None
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered experiment, in figure order."""
+    return [spec for specs in REGISTRY.values() for spec in specs]
+
+
+def get(exp_id: str) -> ExperimentSpec:
+    """Look one experiment up by its ``<group>/<variant>`` id."""
+    for spec in all_specs():
+        if spec.exp_id == exp_id:
+            return spec
+    raise KeyError(f"unknown experiment {exp_id!r}")
+
+
+def select(tokens: Iterable[str]) -> list[ExperimentSpec]:
+    """Resolve ``--only`` tokens: group names, prefixes, or full exp ids.
+
+    ``fig09`` matches the ``fig09_block_size`` group; ``fig09_block_size/
+    block_count_50`` matches a single experiment.  Order follows the
+    registry, deduplicated.
+    """
+    matched: set[str] = set()
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            continue
+        matches = [
+            spec
+            for spec in all_specs()
+            if spec.exp_id == token
+            or spec.group == token
+            or spec.group.startswith(token)
+        ]
+        if not matches:
+            raise KeyError(
+                f"--only token {token!r} matches no experiment group or id"
+            )
+        matched.update(spec.exp_id for spec in matches)
+    return [spec for spec in all_specs() if spec.exp_id in matched]

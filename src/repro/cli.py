@@ -7,6 +7,8 @@ Subcommands:
 * ``demo [--usecase NAME]`` — run a small simulated workload, analyze it,
   apply the recommendations, re-run, and print before/after numbers.
 * ``export <log.json> --out <log.csv>`` — convert between log formats.
+* ``suite [--jobs N] [--only fig09,fig10]`` — run the paper's experiment
+  suite through the parallel executor with result caching.
 """
 
 from __future__ import annotations
@@ -56,6 +58,59 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.bench.cache import ResultCache
+    from repro.bench.executor import derive_seed, run_suite
+    from repro.bench.registry import all_specs, select
+    from repro.bench.tables import format_paper_comparison
+
+    if args.txs is not None and args.txs < 1:
+        print(f"error: --txs must be >= 1, got {args.txs}", file=sys.stderr)
+        return 2
+    try:
+        specs = select(args.only.split(",")) if args.only else all_specs()
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.list:
+        for spec in specs:
+            print(
+                f"{spec.exp_id:<45} runs={spec.run_count()} "
+                f"scheduler={spec.scheduler}"
+            )
+        print(f"{len(specs)} experiments")
+        return 0
+
+    specs = [
+        spec.with_overrides(
+            seed=derive_seed(args.seed, spec.exp_id) if args.seed is not None else None,
+            total_transactions=args.txs,
+        )
+        for spec in specs
+    ]
+    if args.clear_cache:
+        # Honour the clear even under --no-cache: the user asked for the
+        # on-disk entries to go away.
+        store = ResultCache(args.cache_dir)
+        print(f"cleared {store.clear()} cache entries under {store.root}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_suite(
+        specs,
+        jobs=args.jobs,
+        cache=cache,
+        progress=None if args.quiet else print,
+    )
+    if not args.quiet:
+        for outcome in report.outcomes:
+            print()
+            print(format_paper_comparison(outcome))
+        print()
+    print(report.summary())
+    if cache is not None:
+        print(f"cache: {cache.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="blockoptr",
@@ -89,13 +144,71 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--transactions", type=int, default=3000)
     demo.add_argument("--seed", type=int, default=7)
     demo.set_defaults(func=_cmd_demo)
+
+    suite = sub.add_parser(
+        "suite",
+        help="run the paper's experiment suite (parallel, cached)",
+        description=(
+            "Run every registered figure/table experiment through the "
+            "process-pool executor. Results are cached on disk keyed by "
+            "the experiment definition and the repro source hash, so a "
+            "warm re-run performs zero simulation runs."
+        ),
+    )
+    suite.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1 = serial)"
+    )
+    suite.add_argument(
+        "--only",
+        default=None,
+        metavar="TOKENS",
+        help="comma-separated groups, group prefixes, or <group>/<variant> ids "
+        "(e.g. fig09,fig10 or fig09_block_size/block_count_50)",
+    )
+    suite.add_argument(
+        "--txs",
+        type=int,
+        default=None,
+        help="override the per-experiment transaction budget (default REPRO_BENCH_TXS)",
+    )
+    suite.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed; each experiment derives its own seed from it "
+        "(default: the registry's pinned seeds)",
+    )
+    suite.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    suite.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    suite.add_argument(
+        "--clear-cache", action="store_true", help="drop cached results first"
+    )
+    suite.add_argument(
+        "--list", action="store_true", help="list the selected experiments and exit"
+    )
+    suite.add_argument(
+        "--quiet", action="store_true", help="only print the summary line"
+    )
+    suite.set_defaults(func=_cmd_suite)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. ``repro suite | head``
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,10 +27,21 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the kernel when the event leaves the heap (fired or skipped).
+    popped: bool = field(default=False, compare=False, repr=False)
+    _kernel: "Kernel | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when popped."""
+        """Mark the event so the kernel skips it when popped.
+
+        Idempotent, and a no-op once the event has already left the heap —
+        cancelling a fired timeout must not corrupt the live-event count.
+        """
+        if self.cancelled or self.popped:
+            return
         self.cancelled = True
+        if self._kernel is not None:
+            self._kernel._live -= 1
 
 
 class Kernel:
@@ -50,6 +61,7 @@ class Kernel:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -71,8 +83,9 @@ class Kernel:
             raise ValueError(
                 f"cannot schedule event at {time:.6f} before now={self._now:.6f}"
             )
-        event = Event(time=time, seq=next(self._counter), action=action)
+        event = Event(time=time, seq=next(self._counter), action=action, _kernel=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_in(self, delay: float, action: Callable[[], None]) -> Event:
@@ -96,8 +109,11 @@ class Kernel:
                 self._now = until
                 return
             heapq.heappop(self._heap)
+            event.popped = True
             if event.cancelled:
+                # Its cancel() already removed it from the live count.
                 continue
+            self._live -= 1
             self._now = event.time
             self._processed += 1
             event.action()
@@ -105,5 +121,9 @@ class Kernel:
             self._now = until
 
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of queued, non-cancelled events.
+
+        Tracked incrementally (schedule/cancel/pop), so this is O(1) even
+        with millions of queued events — it used to scan the whole heap.
+        """
+        return self._live

@@ -139,3 +139,27 @@ class TestCli:
     def test_bad_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+    def test_suite_list(self, capsys):
+        assert main(["suite", "--list", "--only", "fig09"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09_block_size/block_count_50" in out
+        assert "4 experiments" in out
+
+    def test_suite_runs_and_caches(self, tmp_path, capsys):
+        args = [
+            "suite",
+            "--only", "fig08",
+            "--txs", "300",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+            "--quiet",
+        ]
+        assert main(args) == 0
+        assert "1 experiments" in capsys.readouterr().out
+        assert main(args) == 0  # warm: everything served from cache
+        assert "0 simulation runs" in capsys.readouterr().out
+
+    def test_suite_unknown_only_token(self, capsys):
+        assert main(["suite", "--only", "fig99", "--no-cache"]) == 2
+        assert "fig99" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Golden-file regression tests for headline figure numbers (satellite 2).
+
+Pins the exact headline numbers (throughput, latency, success%) of
+representative ``fig09_block_size``, ``fig10_rate_control`` and
+``fig12_combined`` experiments under the seed configs at a fixed 800-
+transaction budget.  Any change to the simulator, workload generation,
+recommender or apply pipeline that shifts these numbers shows up as a
+diff against ``tests/golden/*.json``.
+
+Regenerate deliberately after an intended behaviour change:
+
+    PYTHONPATH=src python tests/test_golden_figures.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Fixed budget: large enough for the paper's shapes (collapse, rate
+#: control) to manifest, small enough for the tier-1 time budget.
+GOLDEN_TXS = 800
+
+GOLDEN_EXPERIMENTS = [
+    "fig09_block_size/block_count_50",
+    "fig09_block_size/send_rate_1000",
+    "fig10_rate_control/num_orgs_4",
+    "fig10_rate_control/send_rate_500",
+    "fig12_combined/block_count_50",
+    "fig12_combined/tx_dist_skew_70",
+]
+
+
+def _golden_path(exp_id: str) -> Path:
+    return GOLDEN_DIR / (exp_id.replace("/", "__") + ".json")
+
+
+def _compute(exp_id: str) -> dict:
+    from repro.bench.cache import outcome_to_dict
+    from repro.bench.executor import run_spec
+    from repro.bench.registry import get
+
+    spec = get(exp_id).with_overrides(total_transactions=GOLDEN_TXS)
+    data = outcome_to_dict(run_spec(spec))
+    data["exp_id"] = exp_id
+    data["total_transactions"] = GOLDEN_TXS
+    data["seed"] = spec.seed
+    return data
+
+
+@pytest.mark.parametrize("exp_id", GOLDEN_EXPERIMENTS)
+def test_headline_numbers_match_golden(exp_id):
+    path = _golden_path(exp_id)
+    assert path.is_file(), (
+        f"missing golden file {path}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_golden_figures.py --regenerate`"
+    )
+    golden = json.loads(path.read_text())
+    measured = _compute(exp_id)
+    assert measured["rows"] == golden["rows"], (
+        f"{exp_id}: headline numbers drifted from tests/golden — if the "
+        f"change is intended, regenerate the golden files"
+    )
+    assert measured["recommendations"] == golden["recommendations"]
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for exp_id in GOLDEN_EXPERIMENTS:
+        data = _compute(exp_id)
+        path = _golden_path(exp_id)
+        path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -147,3 +147,64 @@ def test_property_cancelled_events_never_fire(items):
     kernel.run()
     expected = sorted(t for (t, cancel) in items if not cancel)
     assert fired == expected
+
+
+def test_pending_tracks_cancel_then_pop():
+    """The live-event counter must survive a cancel followed by the pop.
+
+    ``pending()`` is tracked incrementally (O(1), not a heap scan): cancel
+    decrements immediately, and popping the already-cancelled event must
+    not decrement again.
+    """
+    kernel = Kernel()
+    cancelled = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.schedule(3.0, lambda: None)
+    assert kernel.pending() == 3
+    cancelled.cancel()
+    assert kernel.pending() == 2
+    kernel.run(until=2.0)  # pops the cancelled event and fires the 2.0 one
+    assert kernel.pending() == 1
+    kernel.run()
+    assert kernel.pending() == 0
+
+
+def test_double_cancel_decrements_once():
+    kernel = Kernel()
+    event = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert kernel.pending() == 1
+
+
+def test_cancel_after_fire_is_a_noop():
+    """Cancelling a fired timeout (the orderer does this) must not corrupt
+    the live count of still-queued events."""
+    kernel = Kernel()
+    fired = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(5.0, lambda: None)
+    kernel.run(until=2.0)
+    assert kernel.pending() == 1
+    fired.cancel()
+    assert kernel.pending() == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_pending_matches_heap_scan(items):
+    kernel = Kernel()
+    events = [kernel.schedule(t, lambda: None) for t, _ in items]
+    for event, (_, cancel) in zip(events, items):
+        if cancel:
+            event.cancel()
+            event.cancel()  # idempotent
+    live = sum(1 for _, cancel in items if not cancel)
+    assert kernel.pending() == live
+    kernel.run()
+    assert kernel.pending() == 0
