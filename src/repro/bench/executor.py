@@ -33,6 +33,7 @@ from repro.bench.harness import (
     RunRow,
     default_recommendation,
     execute_experiment,
+    unpack_bundle,
 )
 from repro.bench.registry import ExperimentSpec
 from repro.core.apply import apply_recommendations
@@ -104,9 +105,11 @@ class _BaselineResult:
 def _baseline_task(spec: ExperimentSpec) -> _BaselineResult:
     """Wave 1: baseline run + analysis + plan resolution (mirrors
     the first half of :func:`repro.bench.harness.execute_experiment`)."""
-    config, family, requests = spec.make_bundle()()
+    config, family, requests, scenario = unpack_bundle(spec.make_bundle()())
     deployment = family.deploy()
-    network, baseline = run_workload(config, deployment.contracts, requests)
+    network, baseline = run_workload(
+        config, deployment.contracts, requests, scenario=scenario
+    )
     report = BlockOptR().analyze_network(network)
     recommended = report.recommended_kinds()
 
@@ -135,10 +138,13 @@ def _plan_task(
 ) -> RunRow:
     """Wave 2: apply one plan's recommendations and re-run (mirrors the
     per-plan loop of :func:`repro.bench.harness.execute_experiment`)."""
-    config, family, requests = spec.make_bundle()()
+    config, family, requests, scenario = unpack_bundle(spec.make_bundle()())
     applied = apply_recommendations(list(recs), config, family, requests)
     _, optimized = run_workload(
-        applied.config, applied.deployment.contracts, applied.requests
+        applied.config,
+        applied.deployment.contracts,
+        applied.requests,
+        scenario=scenario,
     )
     return RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
 

@@ -466,6 +466,30 @@ def make_usecase(
     return make
 
 
+def make_scenario(
+    base: str,
+    scenario: str,
+    total_transactions: int | None = None,
+    seed: int = 7,
+) -> MakeBundle:
+    """Bundle factory for a synthetic experiment run under a named scenario.
+
+    ``base`` is any :func:`synthetic_spec` experiment name; ``scenario``
+    is a :mod:`repro.scenario.library` name.  The bundle carries the
+    resolved :class:`~repro.scenario.spec.ScenarioSpec` as its fourth
+    element, which both executor waves thread into ``run_workload``.
+    """
+    from repro.scenario.library import get_scenario
+
+    inner = make_synthetic(base, seed=seed, total_transactions=total_transactions)
+
+    def make():
+        config, family, requests = inner()
+        return config, family, requests, get_scenario(scenario)
+
+    return make
+
+
 def make_loan(
     send_rate: float, seed: int = 7, num_applications: int | None = None
 ) -> MakeBundle:

@@ -21,9 +21,28 @@ from repro.fabric.network import run_workload
 from repro.fabric.policy import parse_policy
 from repro.fabric.results import RunResult
 from repro.fabric.transaction import TxRequest
+from repro.scenario.spec import ScenarioSpec
 
-#: A factory producing one experiment's ingredients.
-MakeBundle = Callable[[], tuple[NetworkConfig, ContractFamily, list[TxRequest]]]
+#: A factory producing one experiment's ingredients: ``(config, family,
+#: requests)`` or, for scenario experiments, ``(config, family, requests,
+#: scenario)``.
+MakeBundle = Callable[[], tuple]
+
+
+def unpack_bundle(
+    bundle: tuple,
+) -> tuple[NetworkConfig, ContractFamily, list[TxRequest], ScenarioSpec | None]:
+    """Normalize a bundle to ``(config, family, requests, scenario)``.
+
+    Pre-scenario makers return 3-tuples; scenario makers append the
+    :class:`ScenarioSpec`.  Everything downstream (serial harness, both
+    executor waves) handles the two shapes through this one helper.
+    """
+    if len(bundle) == 3:
+        config, family, requests = bundle
+        return config, family, requests, None
+    config, family, requests, scenario = bundle
+    return config, family, requests, scenario
 
 
 @dataclass
@@ -133,10 +152,16 @@ def execute_experiment(
 
     ``plans`` lists the optimization combinations the figure shows, e.g.
     ``[("rate control", (TRANSACTION_RATE_CONTROL,)), ("all", (...))]``.
+
+    Scenario bundles run both the baseline and every optimized re-run
+    under the same scenario: the recommendations are evaluated under the
+    same faults they were derived from.
     """
-    config, family, requests = make()
+    config, family, requests, scenario = unpack_bundle(make())
     deployment = family.deploy()
-    network, baseline = run_workload(config, deployment.contracts, requests)
+    network, baseline = run_workload(
+        config, deployment.contracts, requests, scenario=scenario
+    )
     advisor = BlockOptR(thresholds)
     report = advisor.analyze_network(network)
 
@@ -153,7 +178,10 @@ def execute_experiment(
                 forced = True
         applied = apply_recommendations(recs, config, family, requests)
         _, optimized = run_workload(
-            applied.config, applied.deployment.contracts, applied.requests
+            applied.config,
+            applied.deployment.contracts,
+            applied.requests,
+            scenario=scenario,
         )
         rows.append(
             RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)

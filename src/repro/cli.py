@@ -9,6 +9,9 @@ Subcommands:
 * ``export <log.json> --out <log.csv>`` — convert between log formats.
 * ``suite [--jobs N] [--only fig09,fig10]`` — run the paper's experiment
   suite through the parallel executor with result caching.
+* ``scenario [--name crash_burst | --spec file.json]`` — run a workload
+  under declarative fault injection and dynamic network conditions, and
+  compare against the steady-state run.
 """
 
 from __future__ import annotations
@@ -111,6 +114,100 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.experiments import make_synthetic
+    from repro.fabric.network import run_workload
+    from repro.scenario import (
+        ScenarioSpec,
+        get_scenario,
+        run_digest,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:<20} {len(spec.interventions)} interventions — {spec.description}")
+        return 0
+    if args.dump:
+        try:
+            print(get_scenario(args.dump).to_json())
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    if args.txs < 1:
+        print(f"error: --txs must be >= 1, got {args.txs}", file=sys.stderr)
+        return 2
+    try:
+        if args.spec:
+            scenario = ScenarioSpec.from_json(Path(args.spec).read_text())
+        else:
+            scenario = get_scenario(args.name)
+    except OSError as exc:
+        # str(exc) keeps the filename; exc.args[0] would be a bare errno.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    make = make_synthetic(args.base, seed=args.seed, total_transactions=args.txs)
+
+    def scenario_run():
+        config, family, requests = make()
+        deployment = family.deploy()
+        return run_scenario(scenario, config, deployment.contracts, requests)
+
+    print(f"scenario: {scenario.name}")
+    if scenario.description:
+        print(scenario.description)
+    print(f"base workload: synthetic/{args.base}, {args.txs} txs, seed {args.seed}")
+    print("\ninterventions:")
+    for iv in scenario.interventions:
+        print(f"  - {iv.describe()}")
+
+    config, family, requests = make()
+    deployment = family.deploy()
+    _, steady = run_workload(config, deployment.contracts, requests)
+    network, faulted = scenario_run()
+
+    print("\napplied timeline:")
+    for time, kind, detail in sorted(
+        network.scenario_engine.timeline, key=lambda entry: entry[0]
+    ):
+        print(f"  {time:8.3f}s  {kind:<24} {detail}")
+
+    print(f"\n{'run':<16}{'tput(tps)':>10}{'lat(s)':>8}{'success%':>10}")
+    for label, result in (("steady-state", steady), ("under scenario", faulted)):
+        row = result.summary_row()
+        print(
+            f"{label:<16}{row['success_throughput_tps']:>10}"
+            f"{row['avg_latency_s']:>8}{row['success_rate_pct']:>10}"
+        )
+    if faulted.failure_counts:
+        failures = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(faulted.failure_counts.items())
+        )
+        print(f"failures under scenario: {failures}")
+
+    if args.check_determinism:
+        network2, faulted2 = scenario_run()
+        identical = (
+            faulted2.summary_row() == faulted.summary_row()
+            and run_digest(network2) == run_digest(network)
+            and network2.scenario_engine.timeline == network.scenario_engine.timeline
+        )
+        verdict = "identical" if identical else "DIVERGED"
+        print(f"determinism check (second run, same seed): {verdict}")
+        if not identical:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="blockoptr",
@@ -196,6 +293,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="only print the summary line"
     )
     suite.set_defaults(func=_cmd_suite)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a workload under fault injection / dynamic network conditions",
+        description=(
+            "Run a synthetic workload under a declarative scenario "
+            "(peer crashes, endorser slowdowns, latency spikes, orderer "
+            "degradation, arrival bursts, conflict storms) and compare "
+            "against the steady-state run. Scenarios are deterministic: "
+            "the same seed and spec reproduce the run bit for bit."
+        ),
+    )
+    scenario.add_argument(
+        "--name",
+        default="crash_burst",
+        help="built-in scenario name (see --list; default crash_burst)",
+    )
+    scenario.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="path to a ScenarioSpec JSON file (overrides --name)",
+    )
+    scenario.add_argument(
+        "--base",
+        default="default",
+        help="synthetic base experiment to run the scenario against "
+        "(a Table 2 name, e.g. default, workload_update_heavy)",
+    )
+    scenario.add_argument("--txs", type=int, default=2000)
+    scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the scenario twice and verify the runs are identical",
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    scenario.add_argument(
+        "--dump",
+        default=None,
+        metavar="NAME",
+        help="print a built-in scenario as JSON (authoring starting point)",
+    )
+    scenario.set_defaults(func=_cmd_scenario)
     return parser
 
 

@@ -1,0 +1,36 @@
+"""Time-varying network-wide conditions.
+
+Every component that previously read the static
+``TimingConfig.network_delay`` now reads it through one shared
+:class:`NetworkConditions` instance, so scenario interventions
+(:mod:`repro.scenario`) can inflate the delay mid-run — a latency spike —
+and restore it later.  The delay in effect when a message is *scheduled*
+is the delay it experiences; messages already in flight are unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.config import TimingConfig
+
+
+class NetworkConditions:
+    """Mutable wide-area conditions shared by all components of one network."""
+
+    def __init__(self, timing: TimingConfig) -> None:
+        self._timing = timing
+        self._delay_multiplier = 1.0
+
+    @property
+    def delay_multiplier(self) -> float:
+        """Current network-delay inflation factor (1.0 = nominal)."""
+        return self._delay_multiplier
+
+    def set_delay_multiplier(self, factor: float) -> None:
+        """Inflate (or restore) the one-way delay of subsequent messages."""
+        if factor <= 0:
+            raise ValueError(f"delay multiplier must be positive, got {factor!r}")
+        self._delay_multiplier = factor
+
+    def network_delay(self) -> float:
+        """One-way delay a message sent *right now* experiences."""
+        return self._timing.network_delay * self._delay_multiplier

@@ -11,7 +11,9 @@ causes MVCC conflicts.
 If a peer's queue is longer than ``endorse_timeout``, the client gives up
 on that org: the transaction is submitted with a *missing endorsement* and
 fails policy validation — the mechanism behind endorsement-policy failures
-under endorser bottlenecks.
+under endorser bottlenecks.  A *crashed* peer (scenario intervention)
+behaves the same way: clients cannot reach it, so its org's endorsement
+goes missing until the peer recovers.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.fabric.chaincode import ChaincodeAbort, ChaincodeContext, Contract
+from repro.fabric.conditions import NetworkConditions
 from repro.fabric.config import NetworkConfig
 from repro.fabric.policy import EndorsementPolicy
 from repro.fabric.state import StateDatabase
@@ -39,9 +42,11 @@ class EndorserPool:
         state_db: StateDatabase,
         contracts: dict[str, Contract],
         rng: SimRng,
+        conditions: NetworkConditions | None = None,
     ) -> None:
         self._kernel = kernel
         self._timing = config.timing
+        self._conditions = conditions or NetworkConditions(config.timing)
         self._policy = policy
         self._state_db = state_db
         self._contracts = contracts
@@ -67,6 +72,25 @@ class EndorserPool:
     def servers(self) -> list[Server]:
         return [p for peers in self._peers_by_org.values() for p in peers]
 
+    def peers(self, target: str | None = None) -> list[Server]:
+        """Resolve an intervention target to endorsing peers.
+
+        ``None`` means every peer; an organization name means that org's
+        peers; otherwise ``target`` must be a full peer name like
+        ``Org1-peer0``.
+        """
+        if target is None:
+            return self.servers()
+        if target in self._peers_by_org:
+            return list(self._peers_by_org[target])
+        for peer in self.servers():
+            if peer.name == target:
+                return [peer]
+        raise KeyError(
+            f"unknown endorser target {target!r}; expected an org "
+            f"({sorted(self._peers_by_org)}) or a peer name"
+        )
+
     def select_orgs(self) -> frozenset[str]:
         """Choose the endorsing orgs for one transaction."""
         index = int(
@@ -76,8 +100,11 @@ class EndorserPool:
         )
         return self._alternatives[index]
 
-    def _least_loaded_peer(self, org: str) -> Server:
-        peers = self._peers_by_org[org]
+    def _least_loaded_peer(self, org: str) -> Server | None:
+        """The org's least busy *reachable* peer, or ``None`` if all are down."""
+        peers = [p for p in self._peers_by_org[org] if p.enabled]
+        if not peers:
+            return None
         return min(peers, key=lambda p: p.busy_until)
 
     def endorse(
@@ -98,17 +125,19 @@ class EndorserPool:
         missing: list[str] = []
         for org in orgs:
             peer = self._least_loaded_peer(org)
-            if peer.queue_delay() > self._timing.endorse_timeout:
+            if peer is None or peer.queue_delay() > self._timing.endorse_timeout:
                 missing.append(org)
             else:
                 endorsing.append((org, peer))
 
         tx.missing_endorsements = tuple(missing)
         if not endorsing:
-            # Every selected org timed out; the client submits an envelope
-            # with no endorsements at all, doomed to a policy failure.
+            # Every selected org timed out or crashed; the client submits an
+            # envelope with no endorsements at all, doomed to a policy failure.
             tx.endorsers = ()
-            self._kernel.schedule_in(self._timing.network_delay, lambda: on_done(self._kernel.now))
+            self._kernel.schedule_in(
+                self._conditions.network_delay(), lambda: on_done(self._kernel.now)
+            )
             return
 
         tx.endorsers = tuple(peer.name for _, peer in endorsing)
@@ -134,7 +163,7 @@ class EndorserPool:
             pending -= 1
             if pending > 0:
                 return
-            done_at = finish_time + self._timing.network_delay
+            done_at = finish_time + self._conditions.network_delay()
             if aborted:
                 self._kernel.schedule(done_at, lambda: on_abort(self._kernel.now, aborted[0]))
             else:

@@ -19,8 +19,11 @@ later *extract the configuration from the ledger*, as the paper does.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.fabric.chaincode import Contract
 from repro.fabric.client import ClientPool
+from repro.fabric.conditions import NetworkConditions
 from repro.fabric.config import NetworkConfig
 from repro.fabric.endorser import EndorserPool
 from repro.fabric.ledger import Block, Ledger
@@ -34,16 +37,31 @@ from repro.fabric.validator import ValidationPipeline
 from repro.sim.kernel import Kernel
 from repro.sim.rng import SimRng
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario.spec import ScenarioSpec
+
 
 class FabricNetwork:
-    """A simulated Fabric network ready to execute workloads."""
+    """A simulated Fabric network ready to execute workloads.
 
-    def __init__(self, config: NetworkConfig, contracts: list[Contract]) -> None:
+    An optional :class:`~repro.scenario.spec.ScenarioSpec` turns the
+    static network into a dynamic one: its interventions are installed on
+    the kernel's intervention lane at construction time and its workload
+    transforms are applied to the requests in :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        contracts: list[Contract],
+        scenario: "ScenarioSpec | None" = None,
+    ) -> None:
         if not contracts:
             raise ValueError("a network needs at least one smart contract")
         self.config = config
         self.kernel = Kernel()
         self.rng = SimRng(config.seed)
+        self.conditions = NetworkConditions(config.timing)
         self.policy = parse_policy(config.endorsement_policy)
         unknown = self.policy.organizations() - set(config.org_names())
         if unknown:
@@ -60,7 +78,13 @@ class FabricNetwork:
 
         self.clients = ClientPool(self.kernel, config)
         self.endorsers = EndorserPool(
-            self.kernel, config, self.policy, self.state_db, self.contracts, self.rng
+            self.kernel,
+            config,
+            self.policy,
+            self.state_db,
+            self.contracts,
+            self.rng,
+            conditions=self.conditions,
         )
         self._scheduler = make_scheduler(config.scheduler, config.scheduler_window)
         self.validator = ValidationPipeline(
@@ -72,10 +96,18 @@ class FabricNetwork:
             self._scheduler,
             deliver=self._deliver_block,
             early_abort=self._record_early_abort,
+            conditions=self.conditions,
         )
         self.aborted: list[Transaction] = []
         self._tx_counter = 0
         self._append_genesis()
+
+        self.scenario_engine = None
+        if scenario is not None:
+            from repro.scenario.engine import ScenarioEngine
+
+            self.scenario_engine = ScenarioEngine(scenario)
+            self.scenario_engine.install(self)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -133,7 +165,7 @@ class FabricNetwork:
         def proposal_done(finish: float) -> None:
             del finish
             self.kernel.schedule_in(
-                self.config.timing.network_delay, lambda: self._endorse(tx, client)
+                self.conditions.network_delay(), lambda: self._endorse(tx, client)
             )
 
         self.clients.propose(client, proposal_done)
@@ -145,7 +177,7 @@ class FabricNetwork:
             def packaged(finish: float) -> None:
                 del finish
                 self.kernel.schedule_in(
-                    self.config.timing.network_delay, lambda: self.orderer.submit(tx)
+                    self.conditions.network_delay(), lambda: self.orderer.submit(tx)
                 )
 
             self.clients.package(client, len(tx.endorsers), packaged)
@@ -175,6 +207,8 @@ class FabricNetwork:
         """Execute a workload to completion and summarize it."""
         if not requests:
             raise ValueError("empty workload")
+        if self.scenario_engine is not None:
+            requests = self.scenario_engine.transform_requests(requests)
         ordered = sorted(requests, key=lambda r: r.submit_time)
         for request in ordered:
             self.submit_request(request)
@@ -219,13 +253,17 @@ class FabricNetwork:
 
 
 def run_workload(
-    config: NetworkConfig, contracts: list[Contract], requests: list[TxRequest]
+    config: NetworkConfig,
+    contracts: list[Contract],
+    requests: list[TxRequest],
+    scenario: "ScenarioSpec | None" = None,
 ) -> tuple[FabricNetwork, RunResult]:
     """Build a fresh network, run ``requests``, return (network, result).
 
     The paper restarts the Fabric network for every experiment; this helper
-    is that restart.
+    is that restart.  ``scenario`` injects faults and dynamic network
+    conditions into the run (see :mod:`repro.scenario`).
     """
-    network = FabricNetwork(config, contracts)
+    network = FabricNetwork(config, contracts, scenario=scenario)
     result = network.run(requests)
     return network, result

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.fabric.conditions import NetworkConditions
 from repro.fabric.config import NetworkConfig
 from repro.fabric.reorder import Scheduler
 from repro.fabric.transaction import Transaction
@@ -32,10 +33,12 @@ class OrderingService:
         scheduler: Scheduler,
         deliver: Callable[[list[Transaction], str, float], None],
         early_abort: Callable[[Transaction, float], None],
+        conditions: NetworkConditions | None = None,
     ) -> None:
         self._kernel = kernel
         self._config = config
         self._timing = config.timing
+        self._conditions = conditions or NetworkConditions(config.timing)
         self._scheduler = scheduler
         self._deliver = deliver
         self._early_abort = early_abort
@@ -96,7 +99,7 @@ class OrderingService:
         service = self._timing.order_per_block + self._timing.order_per_tx * len(ordered)
 
         def on_done(finish: float) -> None:
-            deliver_at = finish + self._timing.network_delay
+            deliver_at = finish + self._conditions.network_delay()
             self._kernel.schedule(
                 deliver_at, lambda: self._deliver(ordered, reason, self._kernel.now)
             )

@@ -57,8 +57,12 @@ class PetriNet:
         """Token replay of one trace.
 
         Returns the classical ``(produced, consumed, missing, remaining)``
-        counters.  Unknown activities consume/produce nothing but count one
-        missing token (they cannot be explained by the model).
+        counters.  An unknown activity is one failed consumption: it
+        counts one consumed and one missing token (the model holds no
+        token that could explain it).  Pairing the two keeps ``missing <=
+        consumed`` — the invariant that bounds token-replay fitness to
+        ``[0, 1]`` (an unpaired ``missing`` drove the fitness negative on
+        traces dominated by unknown activities).
         """
         marking = self.initial_marking()
         produced = 1  # initial token in source
@@ -67,6 +71,7 @@ class PetriNet:
         for activity in trace:
             if activity not in self.transitions:
                 missing += 1
+                consumed += 1
                 continue
             for place in self.inputs_of(activity):
                 if marking[place] > 0:

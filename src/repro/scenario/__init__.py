@@ -1,0 +1,34 @@
+"""Declarative fault injection and dynamic network conditions.
+
+The paper diagnoses Fabric from steady-state runs; real deployments see
+peer crashes, endorser slowdowns, latency spikes and bursty traffic.
+This package widens the workload space BlockOptR can be validated
+against:
+
+* :mod:`repro.scenario.spec` — the :class:`ScenarioSpec` DSL: a named
+  list of timed :class:`Intervention` records, JSON round-trippable;
+* :mod:`repro.scenario.engine` — applies a spec to a
+  :class:`~repro.fabric.network.FabricNetwork`: kernel-scheduled
+  interventions (crash/recover, slowdowns, latency, orderer degradation)
+  plus deterministic workload transforms (bursts, conflict storms);
+* :mod:`repro.scenario.library` — named, ready-made scenarios used by
+  the bench registry and ``python -m repro scenario``.
+
+Every scenario run stays bit-for-bit deterministic for a fixed seed: the
+transforms are pure functions of the request list and interventions fire
+on the kernel's dedicated priority lane.
+"""
+
+from repro.scenario.engine import ScenarioEngine, run_digest, run_scenario
+from repro.scenario.library import get_scenario, scenario_names
+from repro.scenario.spec import Intervention, ScenarioSpec
+
+__all__ = [
+    "Intervention",
+    "ScenarioEngine",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_digest",
+    "run_scenario",
+    "scenario_names",
+]

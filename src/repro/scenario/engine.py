@@ -1,0 +1,217 @@
+"""Applies a :class:`ScenarioSpec` to a running :class:`FabricNetwork`.
+
+Two application surfaces, both fully deterministic:
+
+* **network interventions** are scheduled on the kernel's intervention
+  priority lane (:meth:`Kernel.schedule_intervention`), so a fault at
+  ``t`` is in effect before any workload event at ``t``;
+* **workload interventions** are pure request-list transforms applied by
+  :meth:`FabricNetwork.run` before submission (no RNG involved), so the
+  same spec and seed always yield the same trace.
+
+The engine records every intervention as it fires in :attr:`timeline`
+(``(time, kind, detail)``), which the CLI prints and the determinism
+tests compare across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import TYPE_CHECKING
+
+from repro.fabric.transaction import TxRequest
+from repro.scenario.spec import Intervention, ScenarioSpec
+from repro.workloads.schedule import compress_window
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.network import FabricNetwork, RunResult
+    from repro.fabric.chaincode import Contract
+    from repro.fabric.config import NetworkConfig
+
+
+class ScenarioEngine:
+    """Installs one scenario's interventions and transforms its workload."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        #: ``(simulated time, kind, detail)`` of every applied intervention,
+        #: in firing order — the scenario's own event log.
+        self.timeline: list[tuple[float, str, str]] = []
+
+    # -- kernel-scheduled interventions --------------------------------------------
+
+    def install(self, network: "FabricNetwork") -> None:
+        """Schedule every network intervention on the network's kernel."""
+        for iv in self.spec.network_interventions():
+            apply, restore = self._actions(network, iv)
+            network.kernel.schedule_intervention(iv.at, apply)
+            if restore is not None and iv.end is not None:
+                network.kernel.schedule_intervention(iv.end, restore)
+
+    def _actions(self, network: "FabricNetwork", iv: Intervention):
+        """(apply, restore) callbacks for one network intervention."""
+        kernel = network.kernel
+
+        def log(kind: str, detail: str) -> None:
+            self.timeline.append((kernel.now, kind, detail))
+
+        if iv.kind in ("peer_crash", "peer_recover"):
+            peers = network.endorsers.peers(iv.target)
+            up = iv.kind == "peer_recover"
+
+            def set_enabled(enabled: bool, kind: str) -> None:
+                for peer in peers:
+                    peer.enabled = enabled
+                log(kind, ",".join(peer.name for peer in peers))
+
+            apply = lambda: set_enabled(up, iv.kind)
+            restore = None
+            if iv.kind == "peer_crash" and iv.duration is not None:
+                restore = lambda: set_enabled(True, "peer_recover")
+            return apply, restore
+
+        if iv.kind == "endorser_slowdown":
+            peers = network.endorsers.peers(iv.target)
+
+            def set_factor(factor: float, kind: str) -> None:
+                for peer in peers:
+                    peer.set_service_multiplier(factor)
+                log(kind, f"{','.join(p.name for p in peers)} x{factor:g}")
+
+            return (
+                lambda: set_factor(iv.factor, iv.kind),
+                lambda: set_factor(1.0, "endorser_slowdown_end"),
+            )
+
+        if iv.kind == "latency_spike":
+            conditions = network.conditions
+
+            def set_delay(factor: float, kind: str) -> None:
+                conditions.set_delay_multiplier(factor)
+                log(kind, f"x{factor:g}")
+
+            return (
+                lambda: set_delay(iv.factor, iv.kind),
+                lambda: set_delay(1.0, "latency_spike_end"),
+            )
+
+        if iv.kind == "orderer_degradation":
+            orderer = network.orderer.server
+
+            def set_orderer(factor: float, kind: str) -> None:
+                orderer.set_service_multiplier(factor)
+                log(kind, f"x{factor:g}")
+
+            return (
+                lambda: set_orderer(iv.factor, iv.kind),
+                lambda: set_orderer(1.0, "orderer_degradation_end"),
+            )
+
+        raise ValueError(f"{iv.kind!r} is not a network intervention")
+
+    # -- workload transforms ---------------------------------------------------------
+
+    def transform_requests(self, requests: list[TxRequest]) -> list[TxRequest]:
+        """Apply the workload interventions, in spec order.
+
+        Pure and deterministic: the output depends only on the input
+        request list and the spec.  Later interventions see the timeline
+        produced by earlier ones (a conflict storm after a burst targets
+        the compressed window).
+        """
+        out = list(requests)
+        for iv in self.spec.workload_interventions():
+            if iv.kind == "burst_arrivals":
+                out = compress_window(out, iv.at, iv.duration, iv.factor)
+                self.timeline.append(
+                    (iv.at, iv.kind, f"{iv.duration:g}s window x{iv.factor:g}")
+                )
+            elif iv.kind == "conflict_storm":
+                out, hit = _conflict_storm(out, iv)
+                self.timeline.append(
+                    (iv.at, iv.kind, f"{hit} {iv.activity!r} txs onto {iv.hot_keys} keys")
+                )
+        return out
+
+
+def _conflict_storm(
+    requests: list[TxRequest], iv: Intervention
+) -> tuple[list[TxRequest], int]:
+    """Retarget a share of the window's ``iv.activity`` requests onto a
+    small hot-key set (key-first argument convention).
+
+    Selection spreads evenly over the window (request ``j`` is picked when
+    ``floor((j+1)·fraction)`` increments) and hot keys are assigned
+    round-robin — deterministic without touching any RNG stream.
+    """
+    end = iv.at + iv.duration
+    hot = sorted(
+        {
+            str(request.args[0])
+            for request in requests
+            if request.activity == iv.activity and request.args
+        }
+    )[: iv.hot_keys]
+    if not hot:
+        return list(requests), 0
+
+    out: list[TxRequest] = []
+    in_window = 0
+    retargeted = 0
+    for request in requests:
+        if (
+            request.activity == iv.activity
+            and request.args
+            and iv.at <= request.submit_time < end
+        ):
+            j = in_window
+            in_window += 1
+            if math.floor((j + 1) * iv.fraction) > math.floor(j * iv.fraction):
+                out.append(
+                    TxRequest(
+                        submit_time=request.submit_time,
+                        activity=request.activity,
+                        args=(hot[retargeted % len(hot)],) + tuple(request.args[1:]),
+                        contract=request.contract,
+                        invoker_org=request.invoker_org,
+                    )
+                )
+                retargeted += 1
+                continue
+        out.append(request)
+    return out, retargeted
+
+
+def run_digest(network: "FabricNetwork") -> str:
+    """SHA-256 fingerprint of a finished run's observable outcome.
+
+    Covers the hash chain plus every transaction's status, block and
+    commit time (which the block hash does not), and the aborted set —
+    two runs are behaviourally identical iff their digests match.
+    """
+    digest = hashlib.sha256()
+    digest.update(network.ledger.tip_hash.encode())
+    for tx in network.ledger.transactions():
+        status = tx.status.value if tx.status is not None else "?"
+        digest.update(
+            f"{tx.tx_id}|{status}|{tx.block_number}|{tx.commit_time!r}\n".encode()
+        )
+    for tx in network.aborted:
+        digest.update(f"abort:{tx.tx_id}|{tx.abort_stage}|{tx.commit_time!r}\n".encode())
+    return digest.hexdigest()
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    config: "NetworkConfig",
+    contracts: "list[Contract]",
+    requests: list[TxRequest],
+) -> "tuple[FabricNetwork, RunResult]":
+    """Build a network under ``spec``, run ``requests``, return both.
+
+    Convenience wrapper mirroring :func:`repro.fabric.network.run_workload`.
+    """
+    from repro.fabric.network import run_workload
+
+    return run_workload(config, contracts, requests, scenario=spec)

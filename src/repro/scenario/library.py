@@ -1,0 +1,131 @@
+"""Named, ready-made scenarios.
+
+Referenced by name from the bench registry (declarative, picklable,
+cache-keyable) and from ``python -m repro scenario --name``.  Intervention
+times sit early in the run (0.5-5 s) so the scenarios bite at test budgets
+(hundreds of transactions ~ a few seconds of traffic) as well as at bench
+scale.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import Intervention, ScenarioSpec
+
+
+def _crash_burst() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="crash_burst",
+        description=(
+            "Org2's endorsing peer crashes during a 3x arrival burst and "
+            "recovers 3 seconds later — endorsement failures pile up "
+            "exactly while traffic peaks."
+        ),
+        interventions=(
+            Intervention(kind="peer_crash", at=0.5, duration=3.0, target="Org2-peer0"),
+            Intervention(kind="burst_arrivals", at=1.0, duration=3.0, factor=3.0),
+        ),
+    )
+
+
+def _crash_recover() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="crash_recover",
+        description="Org1's endorsing peer is down for 2 seconds, then recovers.",
+        interventions=(
+            Intervention(kind="peer_crash", at=0.5, target="Org1-peer0"),
+            Intervention(kind="peer_recover", at=2.5, target="Org1-peer0"),
+        ),
+    )
+
+
+def _flaky_endorser() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="flaky_endorser",
+        description=(
+            "Org1's peers execute chaincode 6x slower for 4 seconds while a "
+            "25x latency spike hits the whole network for 2 of them."
+        ),
+        interventions=(
+            Intervention(
+                kind="endorser_slowdown", at=0.5, duration=4.0, target="Org1", factor=6.0
+            ),
+            Intervention(kind="latency_spike", at=1.0, duration=2.0, factor=25.0),
+        ),
+    )
+
+
+def _degraded_orderer() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="degraded_orderer",
+        description=(
+            "The ordering service serves blocks 4x slower for 4 seconds — "
+            "a struggling Raft leader; blocks queue and latency balloons."
+        ),
+        interventions=(
+            Intervention(kind="orderer_degradation", at=0.5, duration=4.0, factor=4.0),
+        ),
+    )
+
+
+def _conflict_storm() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="conflict_storm",
+        description=(
+            "60% of the window's updates retarget 4 hot keys for 4 seconds "
+            "— an MVCC contention storm like a flash sale."
+        ),
+        interventions=(
+            Intervention(
+                kind="conflict_storm",
+                at=0.5,
+                duration=4.0,
+                fraction=0.6,
+                hot_keys=4,
+                activity="update",
+            ),
+        ),
+    )
+
+
+def _chaos() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="chaos",
+        description=(
+            "Everything at once: a burst during a crash window, a latency "
+            "spike, a degraded orderer, and a late conflict storm."
+        ),
+        interventions=(
+            Intervention(kind="peer_crash", at=0.5, duration=2.0, target="Org2-peer0"),
+            Intervention(kind="latency_spike", at=1.0, duration=2.0, factor=10.0),
+            Intervention(kind="orderer_degradation", at=2.0, duration=2.0, factor=3.0),
+            Intervention(kind="burst_arrivals", at=0.5, duration=2.0, factor=2.0),
+            Intervention(
+                kind="conflict_storm", at=3.0, duration=2.0, fraction=0.5, hot_keys=4
+            ),
+        ),
+    )
+
+
+_BUILDERS = {
+    "crash_burst": _crash_burst,
+    "crash_recover": _crash_recover,
+    "flaky_endorser": _flaky_endorser,
+    "degraded_orderer": _degraded_orderer,
+    "conflict_storm": _conflict_storm,
+    "chaos": _chaos,
+}
+
+
+def scenario_names() -> list[str]:
+    """All built-in scenario names, in definition order."""
+    return list(_BUILDERS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a built-in scenario up by name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(_BUILDERS)}"
+        ) from None

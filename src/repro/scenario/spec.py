@@ -1,0 +1,208 @@
+"""The scenario DSL: timed interventions against a running network.
+
+A :class:`ScenarioSpec` is a named, ordered list of :class:`Intervention`
+records.  Both are frozen, declarative (plain strings and numbers), and
+JSON round-trippable, so scenarios can live in the bench registry, in the
+result cache's identity payload, and in ``--spec`` files authored by hand.
+
+Intervention kinds
+==================
+
+``peer_crash``
+    The target endorsing peer(s) stop accepting endorsement requests at
+    ``at``; queued work drains.  With ``duration``, the peers recover
+    automatically at ``at + duration``; otherwise pair with an explicit
+    ``peer_recover``.
+``peer_recover``
+    The target peer(s) accept work again.
+``endorser_slowdown``
+    The target peers' chaincode execution runs ``factor`` times slower
+    from ``at`` (restored to nominal after ``duration``, if given).
+``latency_spike``
+    Every one-way network delay scheduled in the window is multiplied by
+    ``factor``.
+``orderer_degradation``
+    The ordering service serves blocks ``factor`` times slower in the
+    window (a struggling Raft leader).
+``burst_arrivals``
+    Workload transform: requests submitted inside ``[at, at+duration)``
+    arrive ``factor`` times faster, compressed toward ``at``.
+``conflict_storm``
+    Workload transform: ``fraction`` of the window's ``activity``
+    requests are retargeted onto ``hot_keys`` hot keys, manufacturing
+    MVCC-conflict contention.
+
+Targets: ``None`` (all endorsing peers), an organization name (``Org1``)
+or a full peer name (``Org1-peer0``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+#: Kinds applied as kernel-scheduled interventions on the live network.
+NETWORK_KINDS = frozenset(
+    {
+        "peer_crash",
+        "peer_recover",
+        "endorser_slowdown",
+        "latency_spike",
+        "orderer_degradation",
+    }
+)
+
+#: Kinds applied as deterministic request-list transforms before the run.
+WORKLOAD_KINDS = frozenset({"burst_arrivals", "conflict_storm"})
+
+KINDS = NETWORK_KINDS | WORKLOAD_KINDS
+
+#: Kinds whose effect is multiplicative and restorable.
+_FACTOR_KINDS = frozenset(
+    {"endorser_slowdown", "latency_spike", "orderer_degradation", "burst_arrivals"}
+)
+
+#: Kinds that require a window.
+_WINDOWED_KINDS = frozenset({"burst_arrivals", "conflict_storm"})
+
+
+@dataclass(frozen=True)
+class Intervention:
+    """One timed intervention of a scenario."""
+
+    kind: str
+    #: Simulated time (seconds) the intervention takes effect.
+    at: float
+    #: Window length; optional for the restorable network kinds (omitted
+    #: means permanent), required for the workload transforms.
+    duration: float | None = None
+    #: Peer/org target for the endorser kinds (``None`` = every peer).
+    target: str | None = None
+    #: Multiplier for the ``*_slowdown`` / spike / degradation / burst kinds.
+    factor: float = 2.0
+    #: Share of the window's matching requests a conflict storm retargets.
+    fraction: float = 0.5
+    #: Size of the conflict storm's hot-key set.
+    hot_keys: int = 4
+    #: Activity a conflict storm retargets (key-first args assumed).
+    activity: str = "update"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown intervention kind {self.kind!r}; known: {sorted(KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError(f"intervention time must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.kind in _WINDOWED_KINDS and self.duration is None:
+            raise ValueError(f"{self.kind} requires a duration")
+        if self.kind in _FACTOR_KINDS and self.factor <= 0:
+            raise ValueError(f"{self.kind} factor must be positive, got {self.factor}")
+        if self.kind == "burst_arrivals" and self.factor <= 1.0:
+            raise ValueError(
+                f"burst_arrivals factor must exceed 1, got {self.factor}"
+            )
+        if self.kind == "conflict_storm":
+            if not 0.0 < self.fraction <= 1.0:
+                raise ValueError(
+                    f"conflict_storm fraction must be in (0, 1], got {self.fraction}"
+                )
+            if self.hot_keys < 1:
+                raise ValueError(
+                    f"conflict_storm needs >= 1 hot key, got {self.hot_keys}"
+                )
+
+    @property
+    def end(self) -> float | None:
+        """End of the window, or ``None`` for permanent interventions."""
+        return None if self.duration is None else self.at + self.duration
+
+    def to_dict(self) -> dict:
+        """Only the fields that matter for this kind — dumps double as
+        authoring templates, so irrelevant defaults must not leak in."""
+        data: dict = {"kind": self.kind, "at": self.at}
+        if self.duration is not None:
+            data["duration"] = self.duration
+        if self.target is not None:
+            data["target"] = self.target
+        if self.kind in _FACTOR_KINDS:
+            data["factor"] = self.factor
+        if self.kind == "conflict_storm":
+            data["fraction"] = self.fraction
+            data["hot_keys"] = self.hot_keys
+            data["activity"] = self.activity
+        return data
+
+    def describe(self) -> str:
+        """One-line human summary, used by the CLI timeline."""
+        parts = [f"{self.kind} @ {self.at:g}s"]
+        if self.duration is not None:
+            parts.append(f"for {self.duration:g}s")
+        if self.target is not None:
+            parts.append(f"target={self.target}")
+        if self.kind in _FACTOR_KINDS:
+            parts.append(f"x{self.factor:g}")
+        if self.kind == "conflict_storm":
+            parts.append(
+                f"{self.fraction:.0%} of {self.activity!r} onto {self.hot_keys} keys"
+            )
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named scenario: an ordered list of timed interventions."""
+
+    name: str
+    interventions: tuple[Intervention, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if not self.interventions:
+            raise ValueError(f"scenario {self.name!r} has no interventions")
+        # Make list inputs ergonomic while keeping the dataclass hashable.
+        object.__setattr__(self, "interventions", tuple(self.interventions))
+
+    def network_interventions(self) -> list[Intervention]:
+        """The kernel-scheduled interventions, in spec order."""
+        return [iv for iv in self.interventions if iv.kind in NETWORK_KINDS]
+
+    def workload_interventions(self) -> list[Intervention]:
+        """The request-transform interventions, in spec order."""
+        return [iv for iv in self.interventions if iv.kind in WORKLOAD_KINDS]
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "interventions": [iv.to_dict() for iv in self.interventions],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScenarioSpec":
+        try:
+            interventions = tuple(
+                Intervention(**record) for record in data["interventions"]
+            )
+            return ScenarioSpec(
+                name=data["name"],
+                interventions=interventions,
+                description=data.get("description", ""),
+            )
+        except TypeError as exc:
+            raise ValueError(f"malformed scenario spec: {exc}") from exc
+        except KeyError as exc:
+            raise ValueError(f"scenario spec missing field {exc.args[0]!r}") from exc
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ScenarioSpec":
+        return ScenarioSpec.from_dict(json.loads(text))

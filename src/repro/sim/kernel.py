@@ -2,8 +2,19 @@
 
 The kernel is deliberately minimal: callers schedule callbacks at absolute
 simulated times and :meth:`Kernel.run` drains the heap in time order.
-Ties are broken by insertion order, which makes every simulation run fully
-deterministic for a fixed seed and workload.
+Ties are broken by priority, then insertion order, which makes every
+simulation run fully deterministic for a fixed seed and workload.
+
+Two small control surfaces exist for the scenario engine
+(:mod:`repro.scenario`):
+
+* **interventions** — :meth:`Kernel.schedule_intervention` schedules a
+  callback on a dedicated priority lane that fires *before* any ordinary
+  event at the same instant, so a fault injected "at t=5" is in effect
+  for every workload event at t=5 regardless of insertion order;
+* **tracing** — :meth:`Kernel.enable_trace` records ``(time, priority,
+  seq)`` for every fired event, giving determinism tests an exact event
+  trace to compare across runs.
 """
 
 from __future__ import annotations
@@ -13,17 +24,22 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+#: Priority lane for scenario interventions: strictly before the default
+#: lane (0) at equal timestamps.
+INTERVENTION_PRIORITY = -1
+
 
 @dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
-    insertion counter so that two events scheduled for the same instant fire
-    in the order they were scheduled.
+    Events order by ``(time, priority, seq)``; ``seq`` is a monotonically
+    increasing insertion counter so that two events scheduled for the same
+    instant on the same lane fire in the order they were scheduled.
     """
 
     time: float
+    priority: int
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
@@ -62,6 +78,7 @@ class Kernel:
         self._now = 0.0
         self._processed = 0
         self._live = 0
+        self._trace: list[tuple[float, int, int]] | None = None
 
     @property
     def now(self) -> float:
@@ -73,7 +90,9 @@ class Kernel:
         """Number of events executed so far (cancelled events excluded)."""
         return self._processed
 
-    def schedule(self, time: float, action: Callable[[], None]) -> Event:
+    def schedule(
+        self, time: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
         """Schedule ``action`` to run at absolute simulated time ``time``.
 
         Scheduling in the past raises ``ValueError`` — it would silently
@@ -83,7 +102,13 @@ class Kernel:
             raise ValueError(
                 f"cannot schedule event at {time:.6f} before now={self._now:.6f}"
             )
-        event = Event(time=time, seq=next(self._counter), action=action, _kernel=self)
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            _kernel=self,
+        )
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -93,6 +118,27 @@ class Kernel:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         return self.schedule(self._now + delay, action)
+
+    def schedule_intervention(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule a scenario intervention at absolute time ``time``.
+
+        Interventions run on a priority lane ahead of every ordinary event
+        at the same instant, so a fault injected at ``t`` is already in
+        effect for workload events scheduled at ``t`` — regardless of
+        which was scheduled first.
+        """
+        return self.schedule(time, action, priority=INTERVENTION_PRIORITY)
+
+    def enable_trace(self) -> list[tuple[float, int, int]]:
+        """Record ``(time, priority, seq)`` of every subsequently fired event.
+
+        Returns the live trace list (grows as the kernel runs).  Used by
+        determinism tests: two runs with the same seed and scenario must
+        produce identical traces.
+        """
+        if self._trace is None:
+            self._trace = []
+        return self._trace
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Drain the event heap.
@@ -116,6 +162,8 @@ class Kernel:
             self._live -= 1
             self._now = event.time
             self._processed += 1
+            if self._trace is not None:
+                self._trace.append((event.time, event.priority, event.seq))
             event.action()
         if until is not None and until > self._now:
             self._now = until

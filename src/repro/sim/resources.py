@@ -42,6 +42,12 @@ class Server:
     ``submit`` enqueues a job; when the job *starts* service the optional
     ``on_start`` callback fires (used to snapshot world state at execution
     time), and when it *completes* the ``on_done`` callback fires.
+
+    Two dynamic control knobs back the scenario engine's interventions
+    (:mod:`repro.scenario`): ``enabled`` (a crashed component stops
+    accepting new work; queued jobs drain) and ``service_multiplier``
+    (a degraded component serves every *subsequent* job slower — jobs
+    already queued keep the service time they were admitted with).
     """
 
     def __init__(self, kernel: Kernel, name: str) -> None:
@@ -50,11 +56,24 @@ class Server:
         self.stats = ServerStats()
         self._busy_until = 0.0
         self._queue_len = 0
+        self.enabled = True
+        self._service_multiplier = 1.0
 
     @property
     def busy_until(self) -> float:
         """Earliest simulated time at which the server becomes idle."""
         return self._busy_until
+
+    @property
+    def service_multiplier(self) -> float:
+        """Current service-time inflation factor (1.0 = nominal speed)."""
+        return self._service_multiplier
+
+    def set_service_multiplier(self, factor: float) -> None:
+        """Inflate (or restore) the service time of subsequent jobs."""
+        if factor <= 0:
+            raise ValueError(f"service multiplier must be positive, got {factor!r}")
+        self._service_multiplier = factor
 
     def queue_delay(self) -> float:
         """Wait a job submitted right now would incur before starting."""
@@ -74,6 +93,7 @@ class Server:
         """
         if service_time < 0:
             raise ValueError(f"negative service time {service_time!r}")
+        service_time *= self._service_multiplier
         now = self.kernel.now
         start = max(now, self._busy_until)
         finish = start + service_time

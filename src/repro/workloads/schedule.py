@@ -26,6 +26,76 @@ def constant_rate_times(count: int, rate: float, start: float = 0.0) -> list[flo
     return [start + index / rate for index in range(count)]
 
 
+def piecewise_rate_times(
+    count: int, profile: list[tuple[float, float]], start: float = 0.0
+) -> list[float]:
+    """``count`` submit times following a duration-based rate profile.
+
+    ``profile`` is a list of ``(duration_seconds, rate_tps)`` segments;
+    the *last* segment's rate extends indefinitely so any ``count`` can be
+    satisfied.  This is the duration-keyed complement of
+    :func:`phased_times` (which is count-keyed) and the natural way to
+    express dynamic traffic — e.g. "300 TPS for 5 s, a 900 TPS burst for
+    2 s, then back to 300".
+    """
+    if count < 0:
+        raise ValueError(f"negative count {count}")
+    if not profile:
+        raise ValueError("profile needs at least one (duration, rate) segment")
+    for duration, rate in profile:
+        if duration <= 0:
+            raise ValueError(f"segment duration must be positive, got {duration}")
+        if rate <= 0:
+            raise ValueError(f"segment rate must be positive, got {rate}")
+    times: list[float] = []
+    clock = start
+    for index, (duration, rate) in enumerate(profile):
+        last = index == len(profile) - 1
+        segment_end = clock + duration
+        while len(times) < count and (clock < segment_end or last):
+            times.append(clock)
+            clock += 1.0 / rate
+        if len(times) == count:
+            return times
+        clock = segment_end
+    return times
+
+
+def compress_window(
+    requests: list[TxRequest], start: float, duration: float, factor: float
+) -> list[TxRequest]:
+    """Burst transform: arrivals inside ``[start, start+duration)`` are
+    re-timed to arrive ``factor`` times faster (compressed toward
+    ``start``), leaving every other request untouched.
+
+    The warp is monotone — compressed times never overtake the requests
+    after the window — so order is preserved: a traffic burst followed by
+    a lull, total transaction count unchanged.  This is how the scenario
+    engine's ``burst_arrivals`` intervention reshapes any base workload
+    without knowing its contract.
+    """
+    if duration <= 0:
+        raise ValueError(f"burst duration must be positive, got {duration}")
+    if factor <= 1.0:
+        raise ValueError(f"burst factor must exceed 1, got {factor}")
+    end = start + duration
+    out: list[TxRequest] = []
+    for request in requests:
+        time = request.submit_time
+        if start <= time < end:
+            time = start + (time - start) / factor
+        out.append(
+            TxRequest(
+                submit_time=time,
+                activity=request.activity,
+                args=request.args,
+                contract=request.contract,
+                invoker_org=request.invoker_org,
+            )
+        )
+    return out
+
+
 def phased_times(phases: list[tuple[int, float]], start: float = 0.0) -> list[float]:
     """Submit times for consecutive (count, rate) phases.
 

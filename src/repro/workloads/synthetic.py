@@ -13,7 +13,11 @@ from repro.contracts.registry import ContractDeployment, genchain_family
 from repro.fabric.config import NetworkConfig
 from repro.fabric.transaction import TxRequest
 from repro.sim.rng import SimRng
-from repro.workloads.schedule import constant_rate_times, phased_times
+from repro.workloads.schedule import (
+    constant_rate_times,
+    phased_times,
+    piecewise_rate_times,
+)
 from repro.workloads.spec import ControlVariables, GENCHAIN_ACTIVITIES, type_mix
 
 #: Width (in key ranks) of each range_read window.
@@ -35,6 +39,8 @@ def zipf_exponent(key_dist_skew: float) -> float:
 
 
 def _submit_times(spec: ControlVariables) -> list[float]:
+    if spec.send_rate_profile is not None:
+        return piecewise_rate_times(spec.total_transactions, spec.send_rate_profile)
     if spec.send_rate_phases is not None:
         times = phased_times(spec.send_rate_phases)
         if len(times) != spec.total_transactions:

@@ -1,11 +1,13 @@
-"""Golden-file regression tests for headline figure numbers (satellite 2).
+"""Golden-file regression tests for headline figure numbers.
 
 Pins the exact headline numbers (throughput, latency, success%) of
-representative ``fig09_block_size``, ``fig10_rate_control`` and
-``fig12_combined`` experiments under the seed configs at a fixed 800-
-transaction budget.  Any change to the simulator, workload generation,
-recommender or apply pipeline that shifts these numbers shows up as a
-diff against ``tests/golden/*.json``.
+representative experiments under the seed configs at a fixed 800-
+transaction budget: ``fig07_endorser`` (endorser restructuring),
+``fig09_block_size``, ``fig10_rate_control``, ``fig11_reordering``
+(activity reordering), ``fig12_combined``, the Table 3 recommendation
+sets, and one fault-injection scenario.  Any change to the simulator,
+workload generation, scenario engine, recommender or apply pipeline that
+shifts these numbers shows up as a diff against ``tests/golden/*.json``.
 
 Regenerate deliberately after an intended behaviour change:
 
@@ -27,12 +29,22 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_TXS = 800
 
 GOLDEN_EXPERIMENTS = [
+    "fig07_endorser/endorsement_policy_p1",
+    "fig07_endorser/endorsement_policy_p2_skew",
     "fig09_block_size/block_count_50",
     "fig09_block_size/send_rate_1000",
     "fig10_rate_control/num_orgs_4",
     "fig10_rate_control/send_rate_500",
+    "fig11_reordering/workload_insert_heavy",
+    "fig11_reordering/key_dist_skew_2",
     "fig12_combined/block_count_50",
     "fig12_combined/tx_dist_skew_70",
+    # Table 3: pins the *recommendation sets* (rows carry the baseline).
+    "table3/key_dist_skew_2",
+    "table3/tx_dist_skew_70",
+    "table3/workload_rangeread_heavy",
+    # The scenario engine: crash + burst under the default workload.
+    "scenario_faults/crash_burst",
 ]
 
 

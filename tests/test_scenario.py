@@ -1,0 +1,431 @@
+"""Scenario engine: spec DSL, interventions, transforms, bench + CLI paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.experiments import make_synthetic
+from repro.fabric.network import FabricNetwork, run_workload
+from repro.scenario import (
+    Intervention,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.workloads.schedule import compress_window, piecewise_rate_times
+
+from tests.conftest import CounterContract, counter_requests, small_config
+
+
+def _bundle(total=400, experiment="default"):
+    config, family, requests = make_synthetic(
+        experiment, total_transactions=total
+    )()
+    return config, family.deploy().contracts, requests
+
+
+def _run(scenario=None, total=400, experiment="default"):
+    config, contracts, requests = _bundle(total, experiment)
+    if scenario is None:
+        return run_workload(config, contracts, requests)
+    return run_scenario(scenario, config, contracts, requests)
+
+
+# -- spec validation and serialization -------------------------------------------------
+
+
+class TestScenarioSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown intervention kind"):
+            Intervention(kind="meteor_strike", at=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Intervention(kind="peer_crash", at=-0.5)
+
+    def test_windowed_kinds_require_duration(self):
+        with pytest.raises(ValueError, match="requires a duration"):
+            Intervention(kind="burst_arrivals", at=1.0, factor=2.0)
+        with pytest.raises(ValueError, match="requires a duration"):
+            Intervention(kind="conflict_storm", at=1.0)
+
+    def test_burst_factor_must_exceed_one(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            Intervention(kind="burst_arrivals", at=0.0, duration=1.0, factor=1.0)
+
+    def test_conflict_storm_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            Intervention(kind="conflict_storm", at=0.0, duration=1.0, fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            Intervention(kind="conflict_storm", at=0.0, duration=1.0, fraction=1.5)
+
+    def test_scenario_needs_interventions(self):
+        with pytest.raises(ValueError, match="no interventions"):
+            ScenarioSpec(name="empty")
+
+    def test_every_library_scenario_round_trips_through_json(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_omits_fields_irrelevant_to_the_kind(self):
+        # Dumps double as authoring templates: a crash must not advertise
+        # factor/fraction/hot_keys/activity, which do nothing for it.
+        crash = Intervention(kind="peer_crash", at=0.5, target="Org1-peer0").to_dict()
+        assert set(crash) == {"kind", "at", "target"}
+        spike = Intervention(kind="latency_spike", at=1.0, duration=2.0, factor=5.0)
+        assert set(spike.to_dict()) == {"kind", "at", "duration", "factor"}
+        storm = Intervention(kind="conflict_storm", at=0.0, duration=1.0).to_dict()
+        assert {"fraction", "hot_keys", "activity"} <= set(storm)
+        assert "target" not in storm
+
+    def test_from_dict_reports_missing_fields(self):
+        with pytest.raises(ValueError, match="missing field"):
+            ScenarioSpec.from_dict({"name": "x"})
+        with pytest.raises(ValueError, match="malformed"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "interventions": [{"kind": "peer_crash", "when": 1}]}
+            )
+
+    def test_unknown_library_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_intervention_partition(self):
+        spec = get_scenario("chaos")
+        network = {iv.kind for iv in spec.network_interventions()}
+        workload = {iv.kind for iv in spec.workload_interventions()}
+        assert not network & workload
+        assert len(spec.network_interventions()) + len(
+            spec.workload_interventions()
+        ) == len(spec.interventions)
+
+
+# -- kernel-scheduled interventions ----------------------------------------------------
+
+
+class TestNetworkInterventions:
+    def test_crash_causes_endorsement_failures_until_recovery(self):
+        _, baseline = _run()
+        crash = ScenarioSpec(
+            name="crash",
+            interventions=(
+                Intervention(kind="peer_crash", at=0.2, duration=0.5, target="Org1-peer0"),
+            ),
+        )
+        network, result = _run(crash)
+        assert "endorsement_policy_failure" not in baseline.failure_counts
+        assert result.failure_counts.get("endorsement_policy_failure", 0) > 0
+        # Recovery happened: transactions after the window still succeed.
+        assert result.success_count > 0
+        kinds = [kind for _, kind, _ in network.scenario_engine.timeline]
+        assert kinds == ["peer_crash", "peer_recover"]
+
+    def test_explicit_recover_matches_auto_recover(self):
+        auto = ScenarioSpec(
+            name="auto",
+            interventions=(
+                Intervention(kind="peer_crash", at=0.2, duration=0.5, target="Org2-peer0"),
+            ),
+        )
+        explicit = ScenarioSpec(
+            name="explicit",
+            interventions=(
+                Intervention(kind="peer_crash", at=0.2, target="Org2-peer0"),
+                Intervention(kind="peer_recover", at=0.7, target="Org2-peer0"),
+            ),
+        )
+        _, a = _run(auto)
+        _, b = _run(explicit)
+        assert a.summary_row() == b.summary_row()
+        assert a.failure_counts == b.failure_counts
+
+    def test_endorser_slowdown_raises_latency_and_restores(self):
+        _, baseline = _run()
+        slow = ScenarioSpec(
+            name="slow",
+            interventions=(
+                Intervention(
+                    kind="endorser_slowdown", at=0.2, duration=1.0, target="Org1", factor=8.0
+                ),
+            ),
+        )
+        network, result = _run(slow)
+        assert result.avg_latency > baseline.avg_latency
+        # The multiplier is restored after the window.
+        for peer in network.endorsers.peers("Org1"):
+            assert peer.service_multiplier == 1.0
+
+    def test_latency_spike_raises_latency_and_restores(self):
+        _, baseline = _run()
+        spike = ScenarioSpec(
+            name="spike",
+            interventions=(
+                Intervention(kind="latency_spike", at=0.2, duration=1.0, factor=200.0),
+            ),
+        )
+        network, result = _run(spike)
+        assert result.avg_latency > baseline.avg_latency
+        assert network.conditions.delay_multiplier == 1.0
+
+    def test_orderer_degradation_raises_latency(self):
+        _, baseline = _run()
+        degraded = ScenarioSpec(
+            name="degraded",
+            interventions=(
+                Intervention(kind="orderer_degradation", at=0.2, duration=1.5, factor=6.0),
+            ),
+        )
+        network, result = _run(degraded)
+        assert result.avg_latency > baseline.avg_latency
+        assert network.orderer.server.service_multiplier == 1.0
+
+    def test_permanent_crash_of_all_peers_fails_everything_submitted(self):
+        dead = ScenarioSpec(
+            name="dead",
+            interventions=(Intervention(kind="peer_crash", at=0.0),),
+        )
+        _, result = _run(dead)
+        assert result.success_count == 0
+        assert result.failure_counts.get("endorsement_policy_failure", 0) > 0
+
+    def test_unknown_target_raises_at_install_time(self):
+        config, contracts, requests = _bundle()
+        bad = ScenarioSpec(
+            name="bad",
+            interventions=(
+                Intervention(kind="peer_crash", at=0.5, target="Org9-peer3"),
+            ),
+        )
+        with pytest.raises(KeyError, match="unknown endorser target"):
+            FabricNetwork(config, contracts, scenario=bad)
+
+    def test_accounting_survives_interventions(self):
+        # run() raises on any transaction-accounting mismatch, so a clean
+        # return under chaos means nothing was lost or double counted.
+        _, result = _run(get_scenario("chaos"), total=600)
+        assert result.total_issued == 600
+
+    def test_disabled_peer_not_selected_while_sibling_up(self):
+        config = small_config(seed=3)
+        config.orgs[0].endorsers_per_org = 2
+        contract = CounterContract()
+        network = FabricNetwork(config, [contract])
+        crashed, healthy = network.endorsers.peers("Org1")
+        crashed.enabled = False
+        result = network.run(counter_requests(count=60, rate=200.0))
+        assert crashed.stats.jobs == 0
+        assert healthy.stats.jobs > 0
+        assert "endorsement_policy_failure" not in result.failure_counts
+        assert result.success_count > 0
+
+
+# -- workload transforms ---------------------------------------------------------------
+
+
+class TestWorkloadTransforms:
+    def test_compress_window_preserves_count_and_order(self):
+        config, contracts, requests = _bundle()
+        squeezed = compress_window(requests, start=0.5, duration=0.6, factor=3.0)
+        assert len(squeezed) == len(requests)
+        times = [r.submit_time for r in squeezed]
+        assert times == sorted(times)
+        for before, after in zip(requests, squeezed):
+            if 0.5 <= before.submit_time < 1.1:
+                assert after.submit_time == pytest.approx(
+                    0.5 + (before.submit_time - 0.5) / 3.0
+                )
+            else:
+                assert after.submit_time == before.submit_time
+            assert (after.activity, after.args) == (before.activity, before.args)
+
+    def test_compress_window_validation(self):
+        with pytest.raises(ValueError, match="duration"):
+            compress_window([], start=0.0, duration=0.0, factor=2.0)
+        with pytest.raises(ValueError, match="factor"):
+            compress_window([], start=0.0, duration=1.0, factor=1.0)
+
+    def test_burst_raises_peak_pressure(self):
+        _, baseline = _run()
+        burst = ScenarioSpec(
+            name="burst",
+            interventions=(
+                Intervention(kind="burst_arrivals", at=0.2, duration=0.8, factor=4.0),
+            ),
+        )
+        _, result = _run(burst)
+        # Compressing arrivals can only hold or worsen latency.
+        assert result.avg_latency >= baseline.avg_latency
+
+    def test_conflict_storm_inflates_mvcc_conflicts(self):
+        _, baseline = _run(experiment="workload_update_heavy")
+        storm = ScenarioSpec(
+            name="storm",
+            interventions=(
+                Intervention(
+                    kind="conflict_storm",
+                    at=0.0,
+                    duration=2.0,
+                    fraction=1.0,
+                    hot_keys=2,
+                ),
+            ),
+        )
+        _, result = _run(storm, experiment="workload_update_heavy")
+        assert result.failure_counts.get(
+            "mvcc_read_conflict", 0
+        ) > baseline.failure_counts.get("mvcc_read_conflict", 0)
+
+    def test_conflict_storm_retargets_requested_fraction(self):
+        from repro.scenario.engine import _conflict_storm
+
+        config, contracts, requests = _bundle(experiment="workload_update_heavy")
+        iv = Intervention(
+            kind="conflict_storm", at=0.0, duration=1.0, fraction=0.5, hot_keys=3
+        )
+        out, hit = _conflict_storm(requests, iv)
+        assert len(out) == len(requests)
+        in_window = [
+            r for r in requests if r.activity == "update" and 0.0 <= r.submit_time < 1.0
+        ]
+        assert hit == pytest.approx(len(in_window) * 0.5, abs=1)
+        retargeted_keys = {o.args[0] for r, o in zip(requests, out) if o.args != r.args}
+        assert 0 < len(retargeted_keys) <= 3
+        # Non-update requests are untouched.
+        for before, after in zip(requests, out):
+            if before.activity != "update":
+                assert before.args == after.args
+
+    def test_piecewise_rate_times_counts_and_extends(self):
+        times = piecewise_rate_times(10, [(1.0, 5.0), (1.0, 2.0)])
+        assert len(times) == 10
+        assert times == sorted(times)
+        assert times[:5] == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8])
+        # Second segment (and its rate) extends past its nominal duration.
+        assert times[5:] == pytest.approx([1.0, 1.5, 2.0, 2.5, 3.0])
+
+    def test_piecewise_rate_times_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            piecewise_rate_times(5, [])
+        with pytest.raises(ValueError, match="duration"):
+            piecewise_rate_times(5, [(0.0, 10.0)])
+        with pytest.raises(ValueError, match="rate"):
+            piecewise_rate_times(5, [(1.0, 0.0)])
+
+    def test_control_variables_send_rate_profile(self):
+        from repro.workloads.spec import ControlVariables
+        from repro.workloads.synthetic import synthetic_workload
+
+        spec = ControlVariables(
+            total_transactions=20, send_rate_profile=[(0.05, 100.0), (1.0, 400.0)]
+        )
+        _, _, requests = synthetic_workload(spec)
+        times = [r.submit_time for r in requests]
+        assert len(times) == 20
+        assert times[:5] == pytest.approx([0.0, 0.01, 0.02, 0.03, 0.04])
+        assert times[6] - times[5] == pytest.approx(1 / 400.0)
+
+
+# -- bench and CLI integration ---------------------------------------------------------
+
+
+class TestScenarioBench:
+    def test_registry_exposes_scenario_group(self):
+        from repro.bench.registry import experiments
+
+        specs = experiments("scenario_faults")
+        assert {spec.variant for spec in specs} >= set(scenario_names()) - {"chaos"}
+        for spec in specs:
+            assert spec.maker == "scenario"
+            # Scenario name is part of the cache identity.
+            assert spec.variant in spec.payload()["maker_args"]
+
+    def test_scenario_experiment_round_trips_executor_and_cache(self, tmp_path):
+        from repro.bench.cache import ResultCache
+        from repro.bench.executor import run_spec, run_suite
+        from repro.bench.registry import get
+
+        spec = get("scenario_faults/crash_burst").with_overrides(
+            total_transactions=300
+        )
+        serial = run_spec(spec)
+        cache = ResultCache(tmp_path)
+        cold = run_suite([spec], jobs=2, cache=cache)
+        assert cold.simulated_runs == spec.run_count()
+        warm = run_suite([spec], jobs=2, cache=cache)
+        assert warm.simulated_runs == 0
+        assert cold.outcomes[0].rows == serial.rows == warm.outcomes[0].rows
+        assert cold.outcomes[0].recommendations == serial.recommendations
+
+    def test_scenario_baseline_differs_from_steady_state(self):
+        from repro.bench.executor import run_spec
+        from repro.bench.registry import get
+
+        faulted = run_spec(
+            get("scenario_faults/crash_burst").with_overrides(total_transactions=300)
+        )
+        # send_rate_300 is the default configuration spelled explicitly.
+        steady = run_spec(
+            get("table3/send_rate_300").with_overrides(total_transactions=300)
+        )
+        assert faulted.row("without") != steady.row("without")
+
+
+class TestScenarioCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_dump_round_trips(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "--dump", "crash_burst"]) == 0
+        dumped = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert dumped == get_scenario("crash_burst")
+
+    def test_run_with_determinism_check(self, capsys):
+        from repro.cli import main
+
+        rc = main(["scenario", "--txs", "300", "--check-determinism"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "determinism check (second run, same seed): identical" in out
+        assert "under scenario" in out
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "storm.json"
+        path.write_text(get_scenario("conflict_storm").to_json())
+        rc = main(["scenario", "--spec", str(path), "--txs", "300"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflict_storm" in out
+
+    def test_unknown_scenario_name_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "--name", "nope", "--txs", "100"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_spec_file_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "interventions": []}))
+        assert main(["scenario", "--spec", str(path), "--txs", "100"]) == 2
+
+    def test_missing_spec_file_reports_filename(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "nope.json"
+        assert main(["scenario", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "nope.json" in err  # not a bare errno like "error: 2"

@@ -208,3 +208,41 @@ def test_property_pending_matches_heap_scan(items):
     assert kernel.pending() == live
     kernel.run()
     assert kernel.pending() == 0
+
+
+def test_intervention_lane_fires_before_ordinary_events_at_same_time():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(2.0, lambda: order.append("late-workload"))
+    kernel.schedule(1.0, lambda: order.append("workload"))
+    # Scheduled last, still fires first at t=1.0.
+    kernel.schedule_intervention(1.0, lambda: order.append("intervention"))
+    kernel.run()
+    assert order == ["intervention", "workload", "late-workload"]
+
+
+def test_intervention_lane_preserves_insertion_order_within_lane():
+    kernel = Kernel()
+    order = []
+    kernel.schedule_intervention(1.0, lambda: order.append("first"))
+    kernel.schedule_intervention(1.0, lambda: order.append("second"))
+    kernel.run()
+    assert order == ["first", "second"]
+
+
+def test_trace_records_fired_events_only():
+    kernel = Kernel()
+    trace = kernel.enable_trace()
+    kernel.schedule(1.0, lambda: None)
+    cancelled = kernel.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    kernel.schedule_intervention(3.0, lambda: None)
+    kernel.run()
+    assert [(time, priority) for time, priority, _ in trace] == [(1.0, 0), (3.0, -1)]
+
+
+def test_enable_trace_is_idempotent():
+    kernel = Kernel()
+    first = kernel.enable_trace()
+    second = kernel.enable_trace()
+    assert first is second

@@ -112,3 +112,40 @@ def test_property_completions_ordered_and_spaced(service_times):
     for s, done in zip(service_times, completions):
         running += s
         assert done == pytest.approx(running)
+
+
+def test_service_multiplier_inflates_subsequent_jobs():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    done = []
+    server.submit(1.0, done.append)
+    server.set_service_multiplier(3.0)
+    server.submit(1.0, done.append)
+    kernel.run()
+    # First job at nominal speed, second 3x slower, queued behind it.
+    assert done == [1.0, 4.0]
+
+
+def test_service_multiplier_restore_returns_to_nominal():
+    kernel = Kernel()
+    server = Server(kernel, "s")
+    server.set_service_multiplier(5.0)
+    server.set_service_multiplier(1.0)
+    done = []
+    server.submit(2.0, done.append)
+    kernel.run()
+    assert done == [2.0]
+
+
+def test_service_multiplier_must_be_positive():
+    server = Server(Kernel(), "s")
+    with pytest.raises(ValueError, match="positive"):
+        server.set_service_multiplier(0.0)
+    with pytest.raises(ValueError, match="positive"):
+        server.set_service_multiplier(-2.0)
+
+
+def test_servers_start_enabled_at_nominal_speed():
+    server = Server(Kernel(), "s")
+    assert server.enabled
+    assert server.service_multiplier == 1.0
