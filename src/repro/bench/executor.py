@@ -71,6 +71,7 @@ class SuiteReport:
     jobs: int = 1
 
     def summary(self) -> str:
+        """One-line human summary (the suite's final stdout line)."""
         return (
             f"suite: {len(self.outcomes)} experiments "
             f"({len(self.cached)} cached, {len(self.executed)} executed), "

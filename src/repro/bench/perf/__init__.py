@@ -1,0 +1,55 @@
+"""Microbenchmark subsystem: measure the simulator's hot paths over time.
+
+The experiment suite answers *"do we reproduce the paper?"*; this package
+answers *"how fast is the machinery that does it?"*.  It provides
+
+* :mod:`~repro.bench.perf.benchmarks` — a registry of microbenchmarks
+  covering the per-event hot path end to end: kernel event churn, the
+  endorse→order→validate round trip, metrics accumulation, event-log
+  derivation, and a full small-experiment wall time;
+* :mod:`~repro.bench.perf.runner` — a stable-timing runner (warmup +
+  repeated trials, median and MAD) producing a :class:`PerfReport` that
+  round-trips through JSON, plus a determinism *digest* per benchmark so
+  tests can verify the measured code's behaviour (never its timings);
+* :mod:`~repro.bench.perf.compare` — baseline comparison and regression
+  detection, so every PR can ratchet against a recorded ``BENCH_perf.json``.
+
+CLI: ``python -m repro perf [--only ...] [--json BENCH_perf.json]
+[--compare old.json]`` — see ``docs/PERFORMANCE.md`` for the workflow.
+"""
+
+from repro.bench.perf.benchmarks import (
+    Microbenchmark,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.bench.perf.compare import Delta, compare_reports, format_comparison
+from repro.bench.perf.runner import (
+    SCHEMA_VERSION,
+    BenchResult,
+    PerfReport,
+    report_from_dict,
+    report_from_json,
+    report_to_dict,
+    report_to_json,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BenchResult",
+    "Delta",
+    "Microbenchmark",
+    "PerfReport",
+    "SCHEMA_VERSION",
+    "all_benchmarks",
+    "benchmark_names",
+    "compare_reports",
+    "format_comparison",
+    "get_benchmark",
+    "report_from_dict",
+    "report_from_json",
+    "report_to_dict",
+    "report_to_json",
+    "run_benchmarks",
+]

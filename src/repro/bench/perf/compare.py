@@ -1,0 +1,113 @@
+"""Baseline comparison: ratchet the perf numbers across commits.
+
+``repro perf --compare old.json`` loads a previously recorded
+:class:`~repro.bench.perf.runner.PerfReport`, re-measures, and classifies
+each benchmark shared by both reports:
+
+* **regression** — new median slower than the threshold allows *and* the
+  gap clears the combined MAD noise floor (3× the larger MAD), so a noisy
+  trial cannot fail a build on its own;
+* **improvement** — symmetric, faster beyond threshold and noise;
+* **unchanged** — everything else.
+
+Digest changes are reported separately: a benchmark whose measured code
+now computes something different is not comparable, timing-wise.  The
+CLI treats them as ratchet failures too — a behaviour change in the hot
+path must be acknowledged by regenerating the baseline, never waved
+through because the timings happened to line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.perf.runner import PerfReport
+
+#: Default slowdown tolerated before a benchmark counts as a regression
+#: (median vs baseline median): generous because CI machines are shared.
+DEFAULT_THRESHOLD = 0.25
+
+#: How many MADs the median shift must clear to count as signal.
+NOISE_MADS = 3.0
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's old-vs-new comparison."""
+
+    name: str
+    old_median_s: float
+    new_median_s: float
+    #: new/old — above 1.0 is slower.
+    ratio: float
+    #: "regression", "improvement", "unchanged" or "digest-changed".
+    verdict: str
+
+    @property
+    def percent(self) -> float:
+        """Signed percent change (positive = slower)."""
+        return (self.ratio - 1.0) * 100.0
+
+
+def compare_reports(
+    old: PerfReport, new: PerfReport, threshold: float = DEFAULT_THRESHOLD
+) -> list[Delta]:
+    """Compare benchmarks present in both reports, in ``new``'s order."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold!r}")
+    old_names = set(old.names())
+    deltas: list[Delta] = []
+    for result in new.results:
+        if result.name not in old_names:
+            continue
+        baseline = old.get(result.name)
+        ratio = (
+            result.median_s / baseline.median_s if baseline.median_s > 0 else float("inf")
+        )
+        noise = NOISE_MADS * max(baseline.mad_s, result.mad_s)
+        shift = result.median_s - baseline.median_s
+        if baseline.digest != result.digest:
+            verdict = "digest-changed"
+        elif ratio > 1.0 + threshold and shift > noise:
+            verdict = "regression"
+        elif ratio < 1.0 - threshold and -shift > noise:
+            verdict = "improvement"
+        else:
+            verdict = "unchanged"
+        deltas.append(
+            Delta(
+                name=result.name,
+                old_median_s=baseline.median_s,
+                new_median_s=result.median_s,
+                ratio=ratio,
+                verdict=verdict,
+            )
+        )
+    return deltas
+
+
+def regressions(deltas: list[Delta]) -> list[Delta]:
+    """The deltas that got measurably slower."""
+    return [delta for delta in deltas if delta.verdict == "regression"]
+
+
+def digest_changes(deltas: list[Delta]) -> list[Delta]:
+    """The deltas whose measured code changed behaviour (not comparable)."""
+    return [delta for delta in deltas if delta.verdict == "digest-changed"]
+
+
+def format_comparison(deltas: list[Delta]) -> str:
+    """Human-readable comparison table."""
+    if not deltas:
+        return "no benchmarks in common between the two reports"
+    lines = [
+        f"{'benchmark':<24}{'old (ms)':>10}{'new (ms)':>10}{'change':>9}  verdict"
+    ]
+    for delta in deltas:
+        lines.append(
+            f"{delta.name:<24}"
+            f"{delta.old_median_s * 1e3:>10.2f}"
+            f"{delta.new_median_s * 1e3:>10.2f}"
+            f"{delta.percent:>+8.1f}%  {delta.verdict}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Stable-timing microbenchmark runner and the ``BENCH_perf.json`` schema.
+
+Timing discipline: each benchmark gets ``warmup`` untimed executions
+(JIT-free Python still benefits — allocator warmup, branch caches, lazy
+imports) followed by ``trials`` timed executions.  The report records the
+full trial list plus the **median** (robust location) and **MAD** (median
+absolute deviation — robust spread), never the mean: a single scheduler
+hiccup would otherwise poison the number a future PR ratchets against.
+
+Determinism digest: every trial's return payload is serialized and
+hashed; all trials of a benchmark must produce the *same* digest or the
+runner raises — a microbenchmark whose measured code is nondeterministic
+cannot be compared across commits.  Digests (not timings) are what the
+perf test suite asserts on, so CI stays immune to machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from statistics import median
+from typing import Callable, Sequence
+
+from repro.bench.perf.benchmarks import Microbenchmark, all_benchmarks, get_benchmark
+
+#: Bump on any incompatible change to the report layout.
+SCHEMA_VERSION = 1
+
+#: Optional progress sink (one line per benchmark), mirroring the suite runner.
+Progress = Callable[[str], None]
+
+
+class NondeterministicBenchmarkError(RuntimeError):
+    """Raised when a benchmark's trials disagree on their result payload."""
+
+
+def _digest(payload: object) -> str:
+    """Stable hash of a trial's result payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class BenchResult:
+    """Timings and determinism digest of one microbenchmark."""
+
+    name: str
+    description: str
+    #: Per-trial wall time in seconds, in execution order.
+    trials: list[float]
+    #: Hash of the measured code's (identical) per-trial result payload.
+    digest: str
+    warmup: int
+
+    @property
+    def median_s(self) -> float:
+        """Median trial time in seconds."""
+        return median(self.trials)
+
+    @property
+    def mad_s(self) -> float:
+        """Median absolute deviation of the trials in seconds."""
+        center = self.median_s
+        return median(abs(trial - center) for trial in self.trials)
+
+
+@dataclass
+class PerfReport:
+    """One ``repro perf`` invocation's results (the BENCH_perf.json payload)."""
+
+    results: list[BenchResult] = field(default_factory=list)
+    python: str = ""
+    platform: str = ""
+
+    def get(self, name: str) -> BenchResult:
+        """The result for ``name``; raises ``KeyError`` when absent."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no benchmark {name!r} in this report")
+
+    def names(self) -> list[str]:
+        """Benchmark names in report order."""
+        return [result.name for result in self.results]
+
+
+def run_benchmarks(
+    names: Sequence[str] | None = None,
+    warmup: int = 1,
+    trials: int = 5,
+    progress: Progress | None = None,
+) -> PerfReport:
+    """Run the selected microbenchmarks and build a :class:`PerfReport`.
+
+    ``names=None`` runs the whole registry in order.  Raises ``KeyError``
+    for an unknown name and :class:`NondeterministicBenchmarkError` when a
+    benchmark's trials disagree on their payload digest.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    selected: list[Microbenchmark] = (
+        list(all_benchmarks())
+        if names is None
+        else [get_benchmark(name) for name in names]
+    )
+    note = progress or (lambda message: None)
+
+    report = PerfReport(
+        python=platform.python_version(),
+        platform=platform.platform(),
+    )
+    for bench in selected:
+        timings: list[float] = []
+        digests: set[str] = set()
+        # Setup runs once per benchmark; the trial closure is re-executed
+        # for every round and must itself build any mutable state it needs
+        # (every registered benchmark does), so rounds stay independent.
+        trial = bench.make()
+        for round_index in range(warmup + trials):
+            started = time.perf_counter()
+            payload = trial()
+            elapsed = time.perf_counter() - started
+            if round_index >= warmup:
+                timings.append(elapsed)
+                digests.add(_digest(payload))
+        if len(digests) != 1:
+            raise NondeterministicBenchmarkError(
+                f"benchmark {bench.name!r} produced {len(digests)} distinct "
+                "result digests across trials; the measured code must be "
+                "deterministic to be comparable across commits"
+            )
+        result = BenchResult(
+            name=bench.name,
+            description=bench.description,
+            trials=timings,
+            digest=digests.pop(),
+            warmup=warmup,
+        )
+        report.results.append(result)
+        note(
+            f"{bench.name:<24} median {result.median_s * 1e3:8.2f} ms  "
+            f"mad {result.mad_s * 1e3:6.2f} ms  ({len(timings)} trials)"
+        )
+    return report
+
+
+# -- JSON round trip ---------------------------------------------------------------
+
+
+def report_to_dict(report: PerfReport) -> dict:
+    """JSON-able form of a report (schema-versioned)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "python": report.python,
+        "platform": report.platform,
+        "results": [
+            {
+                "name": result.name,
+                "description": result.description,
+                "trials": list(result.trials),
+                "median_s": result.median_s,
+                "mad_s": result.mad_s,
+                "digest": result.digest,
+                "warmup": result.warmup,
+            }
+            for result in report.results
+        ],
+    }
+
+
+def report_from_dict(data: dict) -> PerfReport:
+    """Parse a report dict; raises ``ValueError`` on schema mismatch/shape."""
+    if not isinstance(data, dict):
+        raise ValueError("perf report must be a JSON object")
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported perf report schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    try:
+        results = [
+            BenchResult(
+                name=entry["name"],
+                description=entry.get("description", ""),
+                trials=[float(value) for value in entry["trials"]],
+                digest=entry["digest"],
+                warmup=int(entry.get("warmup", 0)),
+            )
+            for entry in data["results"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed perf report: {exc!r}") from exc
+    for result in results:
+        if not result.trials:
+            raise ValueError(f"benchmark {result.name!r} has no trials")
+    return PerfReport(
+        results=results,
+        python=data.get("python", ""),
+        platform=data.get("platform", ""),
+    )
+
+
+def report_to_json(report: PerfReport) -> str:
+    """Serialize ``report`` for ``--json`` (stable key order)."""
+    return json.dumps(report_to_dict(report), indent=1, sort_keys=True)
+
+
+def report_from_json(text: str) -> PerfReport:
+    """Parse a ``--json`` report; raises ``ValueError`` on any bad input."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"perf report is not valid JSON: {exc}") from exc
+    return report_from_dict(data)

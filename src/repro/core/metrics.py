@@ -65,7 +65,7 @@ def increment_delta(before: Any, after: Any) -> float | None:
     return None
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivityStats:
     """Per-activity aggregates."""
 
@@ -157,40 +157,63 @@ def compute_metrics(
     trd = [s.count / ins for s in slices]
     frd = [sum(1 for r in s.records if r.is_failure) / ins for s in slices]
 
-    failure_counts: dict[TxStatus, int] = Counter()
-    edsig: Counter = Counter()
-    edsig_org: Counter = Counter()
-    ivsig: Counter = Counter()
-    ivsig_org: Counter = Counter()
+    # Accumulators are preallocated plain dicts updated with local-variable
+    # references; one pass over the log does all per-record bookkeeping.
+    # Insertion order matches the old per-Counter updates exactly, so every
+    # derived dict (and anything serialized from it) is unchanged.
+    failure_counts: dict[TxStatus, int] = {}
+    edsig: dict[str, int] = {}
+    edsig_org: dict[str, int] = {}
+    ivsig: dict[str, int] = {}
+    ivsig_org: dict[str, int] = {}
     ksig_sets: dict[str, set[str]] = {}
-    kfreq: Counter = Counter()
-    key_failed_activity_counts: dict[str, Counter] = {}
+    kfreq: dict[str, int] = {}
+    key_failed_activity_counts: dict[str, dict[str, int]] = {}
     activity_stats: dict[str, ActivityStats] = {}
-    block_sizes: Counter = Counter()
+    block_sizes: dict[int, int] = {}
+    #: Memo of endorser name -> org (rpartition is per-record otherwise).
+    endorser_org: dict[str, str] = {}
 
     for record in records:
-        stats = activity_stats.setdefault(record.activity, ActivityStats())
+        activity = record.activity
+        stats = activity_stats.get(activity)
+        if stats is None:
+            stats = activity_stats[activity] = ActivityStats()
         stats.total += 1
+        rw_keys = record.rw_keys
         # Transactions that never executed (all endorsements timed out)
         # have an empty read-write set; their derived type is an artifact
         # and must not feed the pruning detector.
-        if record.rw_keys or record.range_reads:
+        if rw_keys or record.range_reads:
             stats.type_counts[record.tx_type] += 1
-        if record.is_failure:
+        if record.status is not TxStatus.SUCCESS:
             stats.failures += 1
-            failure_counts[record.status] += 1
-            for key in record.rw_keys:
-                kfreq[key] += 1
-                key_failed_activity_counts.setdefault(key, Counter())[record.activity] += 1
+            status = record.status
+            failure_counts[status] = failure_counts.get(status, 0) + 1
+            for key in rw_keys:
+                kfreq[key] = kfreq.get(key, 0) + 1
+                by_activity = key_failed_activity_counts.get(key)
+                if by_activity is None:
+                    by_activity = key_failed_activity_counts[key] = {}
+                by_activity[activity] = by_activity.get(activity, 0) + 1
         for endorser in record.endorsers:
-            edsig[endorser] += 1
-            edsig_org[endorser.rpartition("-peer")[0]] += 1
-        ivsig[record.invoker] += 1
-        ivsig_org[record.invoker_org] += 1
-        for key in record.rw_keys:
-            ksig_sets.setdefault(key, set()).add(record.activity)
-        if record.block_number >= 0:
-            block_sizes[record.block_number] += 1
+            edsig[endorser] = edsig.get(endorser, 0) + 1
+            org = endorser_org.get(endorser)
+            if org is None:
+                org = endorser_org[endorser] = endorser.rpartition("-peer")[0]
+            edsig_org[org] = edsig_org.get(org, 0) + 1
+        invoker = record.invoker
+        ivsig[invoker] = ivsig.get(invoker, 0) + 1
+        invoker_org = record.invoker_org
+        ivsig_org[invoker_org] = ivsig_org.get(invoker_org, 0) + 1
+        for key in rw_keys:
+            activities = ksig_sets.get(key)
+            if activities is None:
+                activities = ksig_sets[key] = set()
+            activities.add(activity)
+        block = record.block_number
+        if block >= 0:
+            block_sizes[block] = block_sizes.get(block, 0) + 1
 
     total_failures = sum(failure_counts.values())
     bsize_avg = (
@@ -267,7 +290,7 @@ def compute_metrics(
 SIGNIFICANT_ACTIVITY_SHARE = 0.05
 
 
-def _significant_activities(counts: Counter) -> list[str]:
+def _significant_activities(counts: dict[str, int]) -> list[str]:
     total = sum(counts.values())
     if total == 0:
         return []

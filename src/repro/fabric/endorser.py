@@ -28,7 +28,7 @@ from repro.fabric.state import StateDatabase
 from repro.fabric.transaction import Transaction
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Server
-from repro.sim.rng import SimRng, zipf_weights
+from repro.sim.rng import SimRng, WeightedSampler, zipf_weights
 
 
 class EndorserPool:
@@ -68,6 +68,14 @@ class EndorserPool:
                 f"with orgs {sorted(self._peers_by_org)}"
             )
         self._weights = zipf_weights(len(self._alternatives), self._selection_skew)
+        # Hot-path caches: the selection draw goes through a precomputed-CDF
+        # sampler (bit-identical to ``choice(n, p=weights)``, built once),
+        # and the endorsement service time per (contract, activity) pair is
+        # a pure function of static config, so it is computed at most once.
+        self._selection = WeightedSampler(
+            rng.stream("endorser-selection"), self._weights
+        )
+        self._service_time_cache: dict[tuple[str, str], float] = {}
 
     def servers(self) -> list[Server]:
         return [p for peers in self._peers_by_org.values() for p in peers]
@@ -93,12 +101,7 @@ class EndorserPool:
 
     def select_orgs(self) -> frozenset[str]:
         """Choose the endorsing orgs for one transaction."""
-        index = int(
-            self._rng.stream("endorser-selection").choice(
-                len(self._alternatives), p=self._weights
-            )
-        )
-        return self._alternatives[index]
+        return self._alternatives[self._selection.draw()]
 
     def _least_loaded_peer(self, org: str) -> Server | None:
         """The org's least busy *reachable* peer, or ``None`` if all are down."""
@@ -147,9 +150,13 @@ class EndorserPool:
         executor = min(endorsing, key=lambda item: item[1].busy_until)[1]
         pending = len(endorsing)
         aborted: list[str] = []
-        contract = self._contracts.get(tx.contract)
-        cost = contract.cost_factor(tx.activity) if contract is not None else 1.0
-        service_time = self._timing.endorse_per_tx * cost
+        cache_key = (tx.contract, tx.activity)
+        service_time = self._service_time_cache.get(cache_key)
+        if service_time is None:
+            contract = self._contracts.get(tx.contract)
+            cost = contract.cost_factor(tx.activity) if contract is not None else 1.0
+            service_time = self._timing.endorse_per_tx * cost
+            self._service_time_cache[cache_key] = service_time
 
         def execute(start_time: float) -> None:
             del start_time

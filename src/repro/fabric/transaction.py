@@ -51,7 +51,7 @@ class TxType(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RangeQueryInfo:
     """Recorded result of a range read, used for phantom detection.
 
@@ -74,7 +74,7 @@ class RangeQueryInfo:
 DELETED = "__deleted__"
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadWriteSet:
     """Reads (with versions), writes (with values) and range reads of one tx."""
 
@@ -127,7 +127,7 @@ class ReadWriteSet:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class TxRequest:
     """A workload item: one transaction a client should issue.
 
@@ -144,7 +144,7 @@ class TxRequest:
     invoker_org: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One transaction's full lifecycle record.
 

@@ -25,7 +25,7 @@ class ChannelConfig:
     endorsement_policy: str
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """One transaction's entry in the blockchain log."""
 
@@ -55,11 +55,20 @@ class LogRecord:
     block_position: int
     commit_time: float
     contract: str = "contract"
+    #: Lazily computed cache behind :attr:`rw_keys` — the metrics pass reads
+    #: it several times per record and the union is not free.
+    _rw_keys: frozenset[str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def rw_keys(self) -> frozenset[str]:
-        """RWS(x): all keys accessed by the transaction."""
-        return frozenset(self.read_keys) | frozenset(self.write_keys)
+        """RWS(x): all keys accessed by the transaction (computed once)."""
+        cached = self._rw_keys
+        if cached is None:
+            cached = frozenset(self.read_keys) | frozenset(self.write_keys)
+            self._rw_keys = cached
+        return cached
 
     @property
     def is_failure(self) -> bool:

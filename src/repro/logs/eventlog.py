@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator
 
 from repro.logs.blockchain_log import BlockchainLog, LogRecord
@@ -54,7 +55,12 @@ class CaseIdDerivation:
     scores: dict[str, tuple[float, int]] = field(default_factory=dict, hash=False)
 
 
+@lru_cache(maxsize=65536)
 def _key_family(key: str) -> tuple[str, str] | None:
+    """Split ``key`` into ``(family, value)``; memoized — the same keys
+    recur across thousands of records within one analysis.  Bounded so
+    workloads with per-transaction-unique keys (DRM delta keys) cannot
+    grow a long-lived suite worker's memory without limit."""
     match = _KEY_SPLIT_RE.match(key)
     if match is None:
         return None
@@ -80,19 +86,6 @@ def _values_for(record: LogRecord, attribute: str) -> list[str]:
     return values
 
 
-def _candidate_attributes(log: BlockchainLog) -> list[str]:
-    max_args = max((len(record.args) for record in log.records), default=0)
-    candidates = [f"arg:{i}" for i in range(max_args)]
-    families: set[str] = set()
-    for record in log.records:
-        for key in record.rw_keys:
-            parsed = _key_family(key)
-            if parsed is not None:
-                families.add(parsed[0])
-    candidates.extend(f"key:{family}" for family in sorted(families))
-    return candidates
-
-
 def derive_case_attribute(log: BlockchainLog) -> CaseIdDerivation:
     """Find the common element best suited as the CaseID.
 
@@ -101,15 +94,41 @@ def derive_case_attribute(log: BlockchainLog) -> CaseIdDerivation:
     if not log.records:
         raise ValueError("cannot derive a case attribute from an empty log")
     activities = set(log.activities())
+    # One preparation pass parses and sorts each record's keys once; the
+    # scoring loop below then only does dict lookups per candidate, instead
+    # of re-sorting every record's key set for every candidate attribute.
+    prepared: list[tuple[str, tuple, dict[str, list[str]]]] = []
+    max_args = 0
+    for record in log.records:
+        if len(record.args) > max_args:
+            max_args = len(record.args)
+        by_family: dict[str, list[str]] = {}
+        for key in sorted(record.rw_keys):
+            parsed = _key_family(key)
+            if parsed is not None:
+                by_family.setdefault(parsed[0], []).append(parsed[1])
+        prepared.append((record.activity, record.args, by_family))
+    families = sorted({family for _, _, by_family in prepared for family in by_family})
+    candidates = [f"arg:{i}" for i in range(max_args)]
+    candidates.extend(f"key:{family}" for family in families)
+
     scores: dict[str, tuple[float, int]] = {}
-    for attribute in _candidate_attributes(log):
+    for attribute in candidates:
+        kind, _, name = attribute.partition(":")
         covered: set[str] = set()
         values: set[str] = set()
-        for record in log.records:
-            record_values = _values_for(record, attribute)
-            if record_values:
-                covered.add(record.activity)
-                values.update(record_values)
+        if kind == "arg":
+            index = int(name)
+            for activity, args, _ in prepared:
+                if index < len(args):
+                    covered.add(activity)
+                    values.add(str(args[index]))
+        else:
+            for activity, _, by_family in prepared:
+                family_values = by_family.get(name)
+                if family_values:
+                    covered.add(activity)
+                    values.update(family_values)
         coverage = len(covered) / len(activities)
         scores[attribute] = (coverage, len(values))
     best = max(scores.items(), key=lambda item: (item[1][0], item[1][1], item[0]))

@@ -15,13 +15,18 @@ Two small control surfaces exist for the scenario engine
 * **tracing** — :meth:`Kernel.enable_trace` records ``(time, priority,
   seq)`` for every fired event, giving determinism tests an exact event
   trace to compare across runs.
+
+Performance note: the heap stores ``(time, priority, seq, Event)``
+tuples, not :class:`Event` objects.  ``seq`` is unique per kernel, so
+tuple comparison always resolves within the first three (C-compared)
+elements and ``heapq`` never calls back into Python — the profiled
+``Event.__lt__`` hot spot of the dataclass-based heap.  The :class:`Event`
+object in the last slot is the cancellation handle returned to callers.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable
 
 #: Priority lane for scenario interventions: strictly before the default
@@ -29,23 +34,42 @@ from typing import Callable
 INTERVENTION_PRIORITY = -1
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback: the handle :meth:`Kernel.schedule` returns.
 
-    Events order by ``(time, priority, seq)``; ``seq`` is a monotonically
-    increasing insertion counter so that two events scheduled for the same
-    instant on the same lane fire in the order they were scheduled.
+    Events fire in ``(time, priority, seq)`` order; ``seq`` is a
+    monotonically increasing insertion counter so that two events scheduled
+    for the same instant on the same lane fire in the order they were
+    scheduled.  The ordering itself lives in the kernel's heap tuples; the
+    handle only carries the fields callers may inspect and the
+    :meth:`cancel` control surface.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Set by the kernel when the event leaves the heap (fired or skipped).
-    popped: bool = field(default=False, compare=False, repr=False)
-    _kernel: "Kernel | None" = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "priority", "seq", "action", "cancelled", "popped", "_kernel")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+        kernel: "Kernel | None" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        #: True once :meth:`cancel` ran; the kernel skips the event on pop.
+        self.cancelled = False
+        #: Set by the kernel when the event leaves the heap (fired or skipped).
+        self.popped = False
+        self._kernel = kernel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped.
@@ -73,8 +97,9 @@ class Kernel:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        #: Heap of ``(time, priority, seq, Event)`` — see the module note.
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._next_seq = 0
         self._now = 0.0
         self._processed = 0
         self._live = 0
@@ -102,14 +127,10 @@ class Kernel:
             raise ValueError(
                 f"cannot schedule event at {time:.6f} before now={self._now:.6f}"
             )
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            action=action,
-            _kernel=self,
-        )
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, action, self)
+        heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -146,24 +167,30 @@ class Kernel:
         ``until`` stops the clock once the next event would fire strictly
         after that time (the event stays queued).  ``max_events`` is a
         safety valve for property tests over adversarial schedules.
+
+        The loop body is the hottest code in the simulator; locals are
+        hoisted and the heap entries unpacked in place so a fired event
+        costs one ``heappop`` plus the callback itself.
         """
-        while self._heap:
+        heap = self._heap
+        pop = heappop
+        while heap:
             if max_events is not None and self._processed >= max_events:
                 return
-            event = self._heap[0]
-            if until is not None and event.time > until:
+            time, priority, seq, event = heap[0]
+            if until is not None and time > until:
                 self._now = until
                 return
-            heapq.heappop(self._heap)
+            pop(heap)
             event.popped = True
             if event.cancelled:
                 # Its cancel() already removed it from the live count.
                 continue
             self._live -= 1
-            self._now = event.time
+            self._now = time
             self._processed += 1
             if self._trace is not None:
-                self._trace.append((event.time, event.priority, event.seq))
+                self._trace.append((time, priority, seq))
             event.action()
         if until is not None and until > self._now:
             self._now = until

@@ -15,7 +15,7 @@ from typing import Callable
 from repro.sim.kernel import Kernel
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerStats:
     """Aggregate counters for one :class:`Server`."""
 
@@ -49,6 +49,16 @@ class Server:
     (a degraded component serves every *subsequent* job slower — jobs
     already queued keep the service time they were admitted with).
     """
+
+    __slots__ = (
+        "kernel",
+        "name",
+        "stats",
+        "_busy_until",
+        "_queue_len",
+        "enabled",
+        "_service_multiplier",
+    )
 
     def __init__(self, kernel: Kernel, name: str) -> None:
         self.kernel = kernel

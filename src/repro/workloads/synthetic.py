@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.contracts.registry import ContractDeployment, genchain_family
 from repro.fabric.config import NetworkConfig
 from repro.fabric.transaction import TxRequest
-from repro.sim.rng import SimRng
+from repro.sim.rng import SimRng, WeightedSampler
 from repro.workloads.schedule import (
     constant_rate_times,
     phased_times,
@@ -87,12 +87,12 @@ def synthetic_workload(
 
     times = _submit_times(spec)
     invokers = _invoker_orgs(spec, rng)
-    activity_stream = rng.stream("activity-mix")
+    activity_sampler = WeightedSampler(rng.stream("activity-mix"), weights)
     exponent = zipf_exponent(spec.key_dist_skew)
     insert_counter = 0
     requests: list[TxRequest] = []
     for index in range(spec.total_transactions):
-        activity = activities[int(activity_stream.choice(len(activities), p=weights))]
+        activity = activities[activity_sampler.draw()]
         if activity == "write":
             # Inserts: fresh keys interleaved into the existing key space so
             # range windows see new members (phantoms).

@@ -99,3 +99,44 @@ def test_property_zipf_weights_valid_distribution(n, skew):
 @given(st.integers(min_value=0, max_value=2**31 - 1))
 def test_property_stream_determinism_across_instances(seed):
     assert SimRng(seed).uniform("s", 0, 1) == SimRng(seed).uniform("s", 0, 1)
+
+
+# -- WeightedSampler ---------------------------------------------------------------
+
+
+def test_weighted_sampler_matches_numpy_choice_draw_stream():
+    """The precomputed-CDF sampler must be bit-identical to
+    ``Generator.choice(n, p=weights)`` — the goldens depend on it."""
+    from repro.sim.rng import WeightedSampler
+
+    for n, skew in [(2, 0.0), (3, 1.0), (5, 2.5), (8, 0.3)]:
+        weights = zipf_weights(n, skew)
+        reference = np.random.default_rng(99)
+        sampler = WeightedSampler(np.random.default_rng(99), weights)
+        expected = [int(reference.choice(n, p=weights)) for _ in range(2000)]
+        actual = [sampler.draw() for _ in range(2000)]
+        assert actual == expected
+
+
+def test_weighted_sampler_accepts_plain_lists_and_rejects_empty():
+    from repro.sim.rng import WeightedSampler
+
+    sampler = WeightedSampler(np.random.default_rng(1), [1.0, 1.0])
+    assert sampler.draw() in (0, 1)
+    with pytest.raises(ValueError):
+        WeightedSampler(np.random.default_rng(1), [])
+
+
+def test_zipf_index_sampler_cache_matches_fresh_instance():
+    """Cached CDFs must not perturb the stream vs a cold SimRng."""
+    warm = SimRng(42)
+    draws_warm = [warm.zipf_index("k", 10, 1.5) for _ in range(50)]
+    draws_warm += [warm.zipf_index("k", 7, 0.5) for _ in range(50)]
+    draws_warm += [warm.zipf_index("k", 10, 1.5) for _ in range(50)]
+
+    cold = SimRng(42)
+    gen = cold.stream("k")
+    expected = [int(gen.choice(10, p=zipf_weights(10, 1.5))) for _ in range(50)]
+    expected += [int(gen.choice(7, p=zipf_weights(7, 0.5))) for _ in range(50)]
+    expected += [int(gen.choice(10, p=zipf_weights(10, 1.5))) for _ in range(50)]
+    assert draws_warm == expected
