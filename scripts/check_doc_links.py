@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Relative-link checker for the Markdown docs, dependency-free.
+
+Scans README.md and every ``docs/*.md`` file for Markdown links and
+images (inline ``[text](target)`` form) and verifies that every
+*relative* target resolves:
+
+* a path target must exist on disk, relative to the file containing it;
+* an anchor (``file.md#section`` or a same-file ``#section``) must match
+  a heading in the target file, using GitHub's slug rules (lowercase,
+  spaces to hyphens, punctuation dropped, ``-N`` suffixes for duplicate
+  headings).
+
+External schemes (``http://``, ``https://``, ``mailto:``) are skipped —
+CI must not depend on the network.
+
+Usage::
+
+    python scripts/check_doc_links.py            # check the default scope
+    python scripts/check_doc_links.py FILE ...   # check specific files
+
+Exit status 0 when every link resolves, 1 with one
+``path:line: broken link`` line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: ``[text](target)`` / ``![alt](target)``; targets
+#: with spaces or nested parens are not used in this repo's docs.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings (``# Title`` ... ``###### Title``).
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Fenced code block delimiter (links inside fences are not links).
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_scope() -> list[Path]:
+    """README.md plus every Markdown file under docs/."""
+    paths = [REPO_ROOT / "README.md"]
+    paths.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in paths if path.is_file()]
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading text.
+
+    Inline markup is stripped, the text is lowercased, punctuation other
+    than hyphens/underscores is dropped, spaces become hyphens, and a
+    ``-N`` suffix disambiguates repeated headings.
+    """
+    text = re.sub(r"[`*_]", "", heading)
+    # Drop link syntax but keep the link text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+@lru_cache(maxsize=256)
+def heading_anchors(path: Path) -> frozenset[str]:
+    """All anchor slugs a Markdown file exposes (cached per file)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return frozenset(anchors)
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken relative links in ``path``, as human-readable lines."""
+    violations: list[str] = []
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SCHEMES):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    violations.append(
+                        f"{rel}:{lineno}: broken link {target!r} "
+                        f"(no such file {file_part!r})"
+                    )
+                    continue
+            else:
+                resolved = path
+            if anchor:
+                if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                    continue  # anchors into non-Markdown targets: no check
+                if anchor not in heading_anchors(resolved):
+                    violations.append(
+                        f"{rel}:{lineno}: broken anchor {target!r} "
+                        f"(no heading #{anchor} in {resolved.name})"
+                    )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """Check the given files (or the default scope); print violations."""
+    paths = [Path(arg) for arg in argv] if argv else default_scope()
+    missing = [path for path in paths if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file {path}", file=sys.stderr)
+        return 2
+    violations: list[str] = []
+    for path in paths:
+        violations.extend(check_file(path))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"links ok across {len(paths)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

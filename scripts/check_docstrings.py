@@ -10,8 +10,10 @@ dunders other than ``__init__``-free classes (dunders document themselves
 through the data model).
 
 Scope: all ``repro.*`` package ``__init__.py`` files plus the public-API
-modules named in the issue — the simulation kernel, the suite executor,
-the scenario engine, and the whole ``repro.bench.perf`` package.
+modules the documentation contract names — the simulation kernel, the
+suite executor, the scenario engine, the whole ``repro.bench.perf``
+package, the whole ``repro.analysis`` package, and every public module of
+``repro.fabric``.
 
 Usage::
 
@@ -31,7 +33,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 
-#: Modules whose full public API must be documented.
+#: Modules whose full public API must be documented.  The ``repro.fabric``
+#: and ``repro.analysis`` packages are scoped wholesale (every non-dunder
+#: module), so new modules join the contract automatically.
 DEFAULT_SCOPE = [
     SRC / "sim" / "kernel.py",
     SRC / "bench" / "executor.py",
@@ -41,6 +45,14 @@ DEFAULT_SCOPE = [
     SRC / "bench" / "perf" / "runner.py",
     SRC / "bench" / "perf" / "compare.py",
 ]
+
+
+def package_modules(package: Path) -> list[Path]:
+    """Every public module of ``package`` (``__init__`` is covered by
+    :func:`package_inits`)."""
+    return sorted(
+        path for path in package.glob("*.py") if path.name != "__init__.py"
+    )
 
 
 def package_inits() -> list[Path]:
@@ -93,7 +105,12 @@ def main(argv: list[str]) -> int:
     if argv:
         paths = [Path(arg) for arg in argv]
     else:
-        paths = package_inits() + DEFAULT_SCOPE
+        paths = (
+            package_inits()
+            + DEFAULT_SCOPE
+            + package_modules(SRC / "fabric")
+            + package_modules(SRC / "analysis")
+        )
     missing = [path for path in paths if not path.is_file()]
     if missing:
         for path in missing:

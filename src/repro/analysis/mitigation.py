@@ -1,0 +1,56 @@
+"""The selectable failure-mitigation strategies.
+
+The canonical name list lives on :data:`repro.fabric.config.MITIGATIONS`
+(the network validates its configuration against it); this module adds
+the operator-facing descriptions the CLI and docs render, and a helper to
+resolve/validate a name with a useful error.
+
+Strategies (mechanics and trade-offs: docs/FAILURES.md):
+
+``none``
+    The seed behaviour — no intervention; the baseline every comparison
+    is made against.
+``early_abort``
+    Clients re-check the endorsed read set against currently committed
+    state at packaging time and drop already-stale transactions before
+    ordering (FabricSharp's idea, applied at the client).  Converts
+    would-be MVCC/phantom conflicts into cheap early aborts and frees
+    block space.
+``reorder``
+    The ordering service applies the abort-free conflict-aware scheduler
+    (:class:`~repro.fabric.reorder.ConflictAwareScheduler`): readers are
+    emitted before in-block writers of the same keys, removing avoidable
+    intra-block MVCC conflicts without rejecting any transaction.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.config import MITIGATIONS
+
+#: Mitigation name -> one-line description (CLI ``--mitigation`` help).
+MITIGATION_DESCRIPTIONS: dict[str, str] = {
+    "none": "no mitigation (baseline behaviour)",
+    "early_abort": "drop transactions with already-stale read sets before ordering",
+    "reorder": "conflict-aware in-block reordering (readers before writers, no aborts)",
+}
+
+if set(MITIGATION_DESCRIPTIONS) != set(MITIGATIONS):  # pragma: no cover
+    raise RuntimeError(
+        "MITIGATION_DESCRIPTIONS out of sync with repro.fabric.config.MITIGATIONS"
+    )
+
+
+def validate_mitigation(name: str) -> str:
+    """Return ``name`` if it is a known mitigation, else raise ``ValueError``."""
+    if name not in MITIGATIONS:
+        raise ValueError(
+            f"unknown mitigation {name!r}; known: {', '.join(MITIGATIONS)}"
+        )
+    return name
+
+
+def describe_mitigations() -> str:
+    """Multi-line ``name — description`` listing for help text and docs."""
+    return "\n".join(
+        f"{name:<12} {MITIGATION_DESCRIPTIONS[name]}" for name in MITIGATIONS
+    )

@@ -1,0 +1,118 @@
+"""Render a forensics report as operator-readable text.
+
+One report renders into sections mirroring the structure of
+:class:`~repro.analysis.forensics.ForensicsReport`: headline accounting,
+the abort-cause taxonomy table, hot-key and key-family attribution, the
+per-organization endorsement breakdown, the failure-rate time series with
+scenario interventions inlined at the buckets they fired in, and retry
+accounting.  Output is deterministic (no timestamps, no floats beyond
+fixed rounding), so tests can compare it verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.forensics import CAUSES, ForensicsReport
+
+#: Width of the failure-rate bar in the time series.
+_BAR_WIDTH = 24
+
+
+def render_forensics(report: ForensicsReport | dict, title: str | None = None) -> str:
+    """The full text report for one run (accepts the dict form too)."""
+    if isinstance(report, dict):
+        report = ForensicsReport.from_dict(report)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    scenario = report.scenario or "steady-state"
+    lines.append(
+        f"failure forensics — scenario: {scenario}, mitigation: {report.mitigation}"
+    )
+    retries = report.retry.resubmissions
+    originals = report.total_issued - retries
+    issued = f"{report.total_issued}"
+    if retries:
+        issued += f" ({originals} original + {retries} retries)"
+    success_pct = (
+        100.0 * report.successes / report.submitted if report.submitted else 0.0
+    )
+    lines.append(
+        f"issued {issued}, submitted {report.submitted}, "
+        f"success {report.successes} ({success_pct:.1f}%), "
+        f"failed {report.failures}"
+    )
+    lines.append(f"mvcc abort rate: {100.0 * report.mvcc_abort_rate:.1f}%")
+
+    lines.append("")
+    lines.append("abort causes")
+    total_failures = max(1, report.failures)
+    for cause in CAUSES:
+        count = report.cause_counts.get(cause, 0)
+        if count == 0:
+            continue
+        share = 100.0 * count / total_failures
+        lines.append(f"  {cause:<28} {count:>6}  {share:5.1f}%")
+    if not report.distinct_causes():
+        lines.append("  (no failures)")
+
+    if report.hot_keys:
+        lines.append("")
+        lines.append("hot keys (read-conflict attribution)")
+        for key, count in report.hot_keys:
+            lines.append(f"  {key:<28} {count:>6}")
+    if report.key_families:
+        lines.append("")
+        lines.append("key families")
+        for family, count in report.key_families:
+            lines.append(f"  {family:<28} {count:>6}")
+
+    if report.org_policy_failures:
+        lines.append("")
+        lines.append("missing endorsements by organization")
+        for org, count in report.org_policy_failures.items():
+            lines.append(f"  {org:<28} {count:>6}")
+
+    if report.buckets:
+        lines.append("")
+        lines.append(f"failure rate over time ({len(report.buckets)} buckets)")
+        lines.extend(_render_series(report))
+
+    if report.retry.resubmissions or report.retry.max_attempt > 1:
+        lines.append("")
+        lines.append(
+            f"retries: {report.retry.resubmissions} resubmissions, "
+            f"{report.retry.recovered} recovered, "
+            f"{report.retry.exhausted} exhausted, "
+            f"deepest attempt {report.retry.max_attempt}"
+        )
+    return "\n".join(lines)
+
+
+def _render_series(report: ForensicsReport) -> list[str]:
+    """The bucket rows, with interventions inlined where they fired."""
+    lines: list[str] = []
+    pending = list(report.timeline)
+    for index, bucket in enumerate(report.buckets):
+        while pending and (
+            pending[0][0] < bucket.end or index == len(report.buckets) - 1
+        ):
+            time, kind, detail = pending.pop(0)
+            lines.append(f"    ! {time:7.2f}s {kind}: {detail}")
+        bar = "#" * round(_BAR_WIDTH * bucket.failure_rate)
+        lines.append(
+            f"  [{bucket.start:7.2f}-{bucket.end:7.2f}s] "
+            f"{100.0 * bucket.failure_rate:5.1f}% ({bucket.failed}/{bucket.issued}) {bar}"
+        )
+    return lines
+
+
+def render_cause_summary(report: ForensicsReport | dict) -> str:
+    """One-line ``cause=count`` summary (CLI row annotations)."""
+    if isinstance(report, dict):
+        report = ForensicsReport.from_dict(report)
+    parts = [
+        f"{cause}={report.cause_counts[cause]}"
+        for cause in CAUSES
+        if report.cause_counts.get(cause, 0)
+    ]
+    return ", ".join(parts) if parts else "no failures"

@@ -30,7 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.bench.registry import ExperimentSpec
 
 #: Bump to invalidate every existing cache entry on format changes.
-CACHE_FORMAT = 1
+#: Format 2 added the per-row failure-forensics reports.
+CACHE_FORMAT = 2
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -50,8 +51,12 @@ def code_version() -> str:
 
 
 def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
-    """JSON-able form of an outcome (the analysis report is not kept)."""
-    return {
+    """JSON-able form of an outcome (the analysis report is not kept).
+
+    The per-row forensics reports ride along when present (the ``rows``
+    shape itself is unchanged, so golden files keyed on rows stay stable).
+    """
+    data = {
         "name": outcome.name,
         "rows": [
             {
@@ -67,6 +72,9 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
         "recommendations": list(outcome.recommendations),
         "paper": {label: list(values) for label, values in outcome.paper.items()},
     }
+    if outcome.forensics is not None:
+        data["forensics"] = list(outcome.forensics)
+    return data
 
 
 def outcome_from_dict(data: dict) -> ExperimentOutcome:
@@ -85,6 +93,7 @@ def outcome_from_dict(data: dict) -> ExperimentOutcome:
         ],
         recommendations=list(data["recommendations"]),
         paper={label: tuple(values) for label, values in data["paper"].items()},
+        forensics=data.get("forensics"),
     )
 
 

@@ -101,11 +101,15 @@ class _BaselineResult:
     recommendations: list[str]
     #: Per plan: (label, resolved recommendations, forced flag).
     plan_tasks: list[tuple[str, tuple[Recommendation, ...], bool]]
+    #: Baseline failure-forensics report (dict form).
+    forensics: dict = None  # type: ignore[assignment]
 
 
 def _baseline_task(spec: ExperimentSpec) -> _BaselineResult:
     """Wave 1: baseline run + analysis + plan resolution (mirrors
     the first half of :func:`repro.bench.harness.execute_experiment`)."""
+    from repro.analysis.forensics import forensics_report
+
     config, family, requests, scenario = unpack_bundle(spec.make_bundle()())
     deployment = family.deploy()
     network, baseline = run_workload(
@@ -131,23 +135,28 @@ def _baseline_task(spec: ExperimentSpec) -> _BaselineResult:
         row=RunRow.from_result("without", baseline),
         recommendations=sorted(kind.value for kind in recommended),
         plan_tasks=plan_tasks,
+        forensics=forensics_report(network).to_dict(),
     )
 
 
 def _plan_task(
     spec: ExperimentSpec, label: str, recs: tuple[Recommendation, ...], forced: bool
-) -> RunRow:
+) -> tuple[RunRow, dict]:
     """Wave 2: apply one plan's recommendations and re-run (mirrors the
-    per-plan loop of :func:`repro.bench.harness.execute_experiment`)."""
+    per-plan loop of :func:`repro.bench.harness.execute_experiment`).
+    Returns the row plus the run's forensics report (dict form)."""
+    from repro.analysis.forensics import forensics_report
+
     config, family, requests, scenario = unpack_bundle(spec.make_bundle()())
     applied = apply_recommendations(list(recs), config, family, requests)
-    _, optimized = run_workload(
+    network, optimized = run_workload(
         applied.config,
         applied.deployment.contracts,
         applied.requests,
         scenario=scenario,
     )
-    return RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
+    row = RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
+    return row, forensics_report(network).to_dict()
 
 
 # -- the suite runner ---------------------------------------------------------------
@@ -207,10 +216,12 @@ def _run_parallel(
 ) -> None:
     by_id = {spec.exp_id: spec for spec in to_run}
     baselines: dict[str, _BaselineResult] = {}
-    # exp_id -> {plan index -> RunRow}, filled as wave-2 tasks finish.
-    # Keyed by index, not label: duplicate plan labels must still produce
-    # one row each, exactly as the serial path does.
-    plan_rows: dict[str, dict[int, RunRow]] = {spec.exp_id: {} for spec in to_run}
+    # exp_id -> {plan index -> (RunRow, forensics dict)}, filled as wave-2
+    # tasks finish.  Keyed by index, not label: duplicate plan labels must
+    # still produce one row each, exactly as the serial path does.
+    plan_rows: dict[str, dict[int, tuple[RunRow, dict]]] = {
+        spec.exp_id: {} for spec in to_run
+    }
     plans_open: dict[str, int] = {}
 
     with ProcessPoolExecutor(max_workers=report.jobs) as pool:
@@ -249,14 +260,21 @@ def _run_parallel(
 
 
 def _assemble(
-    spec: ExperimentSpec, baseline: _BaselineResult, rows_by_index: dict[int, RunRow]
+    spec: ExperimentSpec,
+    baseline: _BaselineResult,
+    rows_by_index: dict[int, tuple[RunRow, dict]],
 ) -> ExperimentOutcome:
     """Rows in plan order, identical to what ``execute_experiment`` builds."""
     rows = [baseline.row]
-    rows.extend(rows_by_index[index] for index in range(len(spec.plans)))
+    forensics = [baseline.forensics]
+    for index in range(len(spec.plans)):
+        row, row_forensics = rows_by_index[index]
+        rows.append(row)
+        forensics.append(row_forensics)
     return ExperimentOutcome(
         name=spec.title,
         rows=rows,
         recommendations=baseline.recommendations,
         paper=spec.paper_dict(),
+        forensics=forensics,
     )

@@ -490,6 +490,39 @@ def make_scenario(
     return make
 
 
+def make_forensics(
+    base: str,
+    scenario: str,
+    mitigation: str = "none",
+    retry_attempts: int = 1,
+    seed: int = 7,
+    total_transactions: int | None = None,
+) -> MakeBundle:
+    """Bundle factory for the ``failure_forensics`` mitigation sweep.
+
+    A synthetic ``base`` experiment run under a named ``scenario`` with a
+    mitigation strategy and/or a client retry policy applied on top.
+    ``mitigation`` is one of :data:`repro.fabric.config.MITIGATIONS`;
+    ``retry_attempts`` > 1 enables a
+    :class:`~repro.fabric.retry.RetryPolicy` with that many total
+    attempts.  ``mitigation="none"``/``retry_attempts=1`` reproduces the
+    plain scenario run bit for bit (the sweep's baseline cell).
+    """
+    from repro.fabric.retry import RetryPolicy
+    from repro.scenario.library import get_scenario
+
+    inner = make_synthetic(base, seed=seed, total_transactions=total_transactions)
+
+    def make():
+        config, family, requests = inner()
+        config.mitigation = mitigation
+        if retry_attempts > 1:
+            config.retry = RetryPolicy(max_attempts=retry_attempts)
+        return config, family, requests, get_scenario(scenario)
+
+    return make
+
+
 def make_loan(
     send_rate: float, seed: int = 7, num_applications: int | None = None
 ) -> MakeBundle:

@@ -81,6 +81,10 @@ class ExperimentOutcome:
     #: Paper-reported (throughput, latency, success%) per row label.
     paper: dict[str, tuple[float, float, float]] = field(default_factory=dict)
     report: AnalysisReport | None = None
+    #: One failure-forensics report (dict form, see
+    #: :func:`repro.analysis.forensics.forensics_report`) per row, in row
+    #: order; ``None`` on outcomes hydrated from pre-forensics caches.
+    forensics: list[dict] | None = None
 
     def row(self, label: str) -> RunRow:
         for row in self.rows:
@@ -157,6 +161,8 @@ def execute_experiment(
     under the same scenario: the recommendations are evaluated under the
     same faults they were derived from.
     """
+    from repro.analysis.forensics import forensics_report
+
     config, family, requests, scenario = unpack_bundle(make())
     deployment = family.deploy()
     network, baseline = run_workload(
@@ -166,6 +172,7 @@ def execute_experiment(
     report = advisor.analyze_network(network)
 
     rows = [RunRow.from_result("without", baseline)]
+    forensics = [forensics_report(network).to_dict()]
     recommended = report.recommended_kinds()
     for label, kinds in plans:
         recs: list[Recommendation] = []
@@ -177,7 +184,7 @@ def execute_experiment(
                 recs.append(default_recommendation(kind, report))
                 forced = True
         applied = apply_recommendations(recs, config, family, requests)
-        _, optimized = run_workload(
+        optimized_network, optimized = run_workload(
             applied.config,
             applied.deployment.contracts,
             applied.requests,
@@ -186,6 +193,7 @@ def execute_experiment(
         rows.append(
             RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
         )
+        forensics.append(forensics_report(optimized_network).to_dict())
 
     return ExperimentOutcome(
         name=name,
@@ -193,6 +201,7 @@ def execute_experiment(
         recommendations=sorted(k.value for k in recommended),
         paper=dict(paper or {}),
         report=report if keep_report else None,
+        forensics=forensics,
     )
 
 

@@ -18,6 +18,8 @@ The registry covers the layers every experiment run exercises:
 ``eventlog_derivation``   CaseID derivation + event-log construction
 ``small_experiment``      an entire registry experiment (baseline + analysis +
                           optimized re-runs) at a small transaction budget
+``forensics_pass``        the failure-forensics post-processing pass over a
+                          faulted run with retries (repro.analysis)
 ========================  =====================================================
 """
 
@@ -156,6 +158,34 @@ def _small_experiment() -> Trial:
     return trial
 
 
+def _forensics_pass() -> Trial:
+    from repro.bench.experiments import make_forensics
+    from repro.bench.harness import unpack_bundle
+    from repro.fabric.network import run_workload
+
+    # Setup (untimed): one faulted, retry-heavy run — the densest
+    # forensics input the registry produces.
+    config, family, requests, scenario = unpack_bundle(
+        make_forensics(
+            "default", "partial_outage", retry_attempts=3, total_transactions=2000
+        )()
+    )
+    deployment = family.deploy()
+    network, _ = run_workload(config, deployment.contracts, requests, scenario=scenario)
+
+    def trial() -> object:
+        from repro.analysis import forensics_report, report_digest
+
+        report = forensics_report(network)
+        return {
+            "causes": dict(report.cause_counts),
+            "buckets": len(report.buckets),
+            "digest": report_digest(report),
+        }
+
+    return trial
+
+
 _REGISTRY: tuple[Microbenchmark, ...] = (
     Microbenchmark(
         name="kernel_event_churn",
@@ -181,6 +211,11 @@ _REGISTRY: tuple[Microbenchmark, ...] = (
         name="small_experiment",
         description="one full registry experiment (voting, 600 txs)",
         make=_small_experiment,
+    ),
+    Microbenchmark(
+        name="forensics_pass",
+        description="forensics post-processing of a 2k-tx faulted run with retries",
+        make=_forensics_pass,
     ),
 )
 

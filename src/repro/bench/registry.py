@@ -71,6 +71,16 @@ class ExperimentSpec:
                 seed=self.seed,
                 total_transactions=self.total_transactions,
             )
+        if self.maker == "forensics":
+            base, scenario, mitigation, retry_attempts = self.maker_args
+            return defs.make_forensics(
+                base,
+                scenario,
+                mitigation=mitigation,
+                retry_attempts=retry_attempts,
+                seed=self.seed,
+                total_transactions=self.total_transactions,
+            )
         if self.maker == "loan":
             (send_rate,) = self.maker_args
             applications = (
@@ -214,6 +224,9 @@ def _scenario_group() -> tuple[ExperimentSpec, ...]:
         ("degraded_orderer", (block_size,), "default"),
         ("conflict_storm", (reordering,), "workload_update_heavy"),
         ("chaos", (rate_control,), "default"),
+        # The forensics showcase: every abort cause of docs/FAILURES.md
+        # (MVCC, phantom, crashed peer, endorsement timeout) in one run.
+        ("partial_outage", (rate_control,), "default"),
     )
     return tuple(
         ExperimentSpec(
@@ -226,6 +239,43 @@ def _scenario_group() -> tuple[ExperimentSpec, ...]:
             plans=plans,
         )
         for scenario, plans, base in table
+    )
+
+
+def _forensics_group() -> tuple[ExperimentSpec, ...]:
+    """The mitigation × scenario sweep behind ``failure_forensics``.
+
+    Each cell is a single run (no optimization plans): one fault scenario
+    crossed with a mitigation strategy and/or a client retry policy.  The
+    ``none`` cells are bit-identical to the plain scenario runs, so the
+    sweep measures exactly what each mitigation buys — the forensics
+    reports cached with every outcome carry the per-cause abort counts
+    the comparison is made on (see docs/FAILURES.md).
+    """
+    sweeps: tuple[tuple[str, str], ...] = (
+        ("conflict_storm", "workload_update_heavy"),
+        ("partial_outage", "default"),
+    )
+    cells: list[tuple[str, str, str, str, int]] = []
+    for scenario, base in sweeps:
+        for mitigation in ("none", "early_abort", "reorder"):
+            cells.append((f"{scenario}__{mitigation}", base, scenario, mitigation, 1))
+        cells.append((f"{scenario}__retry", base, scenario, "none", 3))
+        cells.append(
+            (f"{scenario}__early_abort_retry", base, scenario, "early_abort", 3)
+        )
+    return tuple(
+        ExperimentSpec(
+            exp_id=f"failure_forensics/{variant}",
+            group="failure_forensics",
+            variant=variant,
+            title=f"Forensics / {scenario} + {mitigation}"
+            + (f" + retry({retry})" if retry > 1 else "")
+            + f" on {base}",
+            maker="forensics",
+            maker_args=(base, scenario, mitigation, retry),
+        )
+        for variant, base, scenario, mitigation, retry in cells
     )
 
 
@@ -337,6 +387,9 @@ def _build_registry() -> dict[str, tuple[ExperimentSpec, ...]]:
         # No paper rows exist — the runs answer "do the recommendations
         # still help under faults and dynamic network conditions?".
         "scenario_faults": _scenario_group(),
+        # Beyond the paper: the mitigation × scenario forensics sweep
+        # (repro.analysis) — "which mitigation recovers which abort cause?".
+        "failure_forensics": _forensics_group(),
     }
     return registry
 

@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``analyze <log.csv|log.json>`` — run BlockOptR over an exported
-  blockchain log and print the recommendation report.
+  blockchain log and print the recommendation report; ``analyze --cached
+  <exp_id>`` instead renders the failure-forensics report of a cached
+  registry run (running and caching it first on a cache miss).
 * ``demo [--usecase NAME]`` — run a small simulated workload, analyze it,
   apply the recommendations, re-run, and print before/after numbers.
 * ``export <log.json> --out <log.csv>`` — convert between log formats.
@@ -27,6 +29,14 @@ from repro.core.report import render_report
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.cached is not None and args.log is not None:
+        print("error: pass either a log file or --cached, not both", file=sys.stderr)
+        return 2
+    if args.cached is not None:
+        return _analyze_cached(args)
+    if args.log is None:
+        print("error: need a log file or --cached <exp_id>", file=sys.stderr)
+        return 2
     report = BlockOptR().analyze_file(args.log)
     print(
         render_report(
@@ -35,6 +45,48 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             include_insights=args.insights,
         )
     )
+    return 0
+
+
+def _analyze_cached(args: argparse.Namespace) -> int:
+    """Failure forensics for one registry experiment, served from cache.
+
+    On a cache miss the experiment is executed (and cached) first, so the
+    command always produces a report; a warm cache renders instantly.
+    """
+    from repro.analysis import render_cause_summary, render_forensics
+    from repro.bench.cache import ResultCache
+    from repro.bench.executor import run_suite
+    from repro.bench.registry import get
+
+    try:
+        spec = get(args.cached)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.txs is not None:
+        if args.txs < 1:
+            print(f"error: --txs must be >= 1, got {args.txs}", file=sys.stderr)
+            return 2
+        spec = spec.with_overrides(total_transactions=args.txs)
+
+    cache = ResultCache(args.cache_dir)
+    report = run_suite([spec], jobs=1, cache=cache)
+    outcome = report.outcomes[0]
+    source = "cache" if report.cached else "fresh run (now cached)"
+    print(f"{spec.exp_id} — {outcome.name} [{source}]")
+    if outcome.forensics is None:
+        print(
+            "error: cached outcome predates forensics reports; re-run with "
+            "--clear-cache via `repro suite` or delete the cache entry",
+            file=sys.stderr,
+        )
+        return 1
+    print()
+    print(render_forensics(outcome.forensics[0]))
+    for row, row_forensics in zip(outcome.rows[1:], outcome.forensics[1:]):
+        print()
+        print(f"with {row.label}: {render_cause_summary(row_forensics)}")
     return 0
 
 
@@ -157,11 +209,20 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.retry < 1:
+        print(f"error: --retry must be >= 1, got {args.retry}", file=sys.stderr)
+        return 2
 
     make = make_synthetic(args.base, seed=args.seed, total_transactions=args.txs)
 
-    def scenario_run():
+    def scenario_run(mitigated: bool = False):
+        from repro.fabric.retry import RetryPolicy
+
         config, family, requests = make()
+        if mitigated:
+            config.mitigation = args.mitigation
+            if args.retry > 1:
+                config.retry = RetryPolicy(max_attempts=args.retry)
         deployment = family.deploy()
         return run_scenario(scenario, config, deployment.contracts, requests)
 
@@ -177,6 +238,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     deployment = family.deploy()
     _, steady = run_workload(config, deployment.contracts, requests)
     network, faulted = scenario_run()
+    with_mitigation = args.mitigation != "none" or args.retry > 1
+    mitigated_network = None
+    mitigated = None
+    if with_mitigation:
+        mitigated_network, mitigated = scenario_run(mitigated=True)
 
     print("\napplied timeline:")
     for time, kind, detail in sorted(
@@ -184,18 +250,36 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     ):
         print(f"  {time:8.3f}s  {kind:<24} {detail}")
 
+    comparison = [("steady-state", steady), ("under scenario", faulted)]
+    if mitigated is not None:
+        comparison.append(("with mitigation", mitigated))
     print(f"\n{'run':<16}{'tput(tps)':>10}{'lat(s)':>8}{'success%':>10}")
-    for label, result in (("steady-state", steady), ("under scenario", faulted)):
+    for label, result in comparison:
         row = result.summary_row()
         print(
             f"{label:<16}{row['success_throughput_tps']:>10}"
             f"{row['avg_latency_s']:>8}{row['success_rate_pct']:>10}"
         )
     if faulted.failure_counts:
-        failures = ", ".join(
-            f"{kind}={count}" for kind, count in sorted(faulted.failure_counts.items())
+        from repro.analysis import forensics_report, render_cause_summary
+
+        print(
+            "failures under scenario: "
+            f"{render_cause_summary(forensics_report(network).to_dict())}"
         )
-        print(f"failures under scenario: {failures}")
+        if mitigated_network is not None:
+            report = forensics_report(mitigated_network)
+            print(
+                f"with {args.mitigation}"
+                + (f" + retry({args.retry})" if args.retry > 1 else "")
+                + f": {render_cause_summary(report.to_dict())}"
+            )
+            if report.retry.resubmissions:
+                print(
+                    f"retries: {report.retry.resubmissions} resubmissions, "
+                    f"{report.retry.recovered} recovered, "
+                    f"{report.retry.exhausted} exhausted"
+                )
 
     if args.check_determinism:
         network2, faulted2 = scenario_run()
@@ -318,8 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyze = sub.add_parser("analyze", help="analyze an exported blockchain log")
-    analyze.add_argument("log", help="path to a .csv or .json blockchain log")
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyze an exported log, or render a cached run's failure forensics",
+        description=(
+            "With a log file: run BlockOptR over the exported blockchain "
+            "log and print the recommendation report. With --cached "
+            "<exp_id>: render the failure-forensics report (abort-cause "
+            "taxonomy, hot keys, per-org breakdown, failure-rate "
+            "timeline; see docs/FAILURES.md) of a registry experiment, "
+            "executing and caching it first if needed."
+        ),
+    )
+    analyze.add_argument(
+        "log", nargs="?", default=None, help="path to a .csv or .json blockchain log"
+    )
     analyze.add_argument(
         "--no-model", action="store_true", help="skip the derived process model section"
     )
@@ -327,6 +424,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--insights",
         action="store_true",
         help="append the conflict-structure appendix (inter/intra-block shares)",
+    )
+    analyze.add_argument(
+        "--cached",
+        default=None,
+        metavar="EXP_ID",
+        help="render failure forensics for a registry experiment "
+        "(e.g. scenario_faults/partial_outage), using the result cache",
+    )
+    analyze.add_argument(
+        "--txs",
+        type=int,
+        default=None,
+        help="with --cached: override the experiment's transaction budget",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        default=None,
+        help="with --cached: cache directory (default $REPRO_CACHE_DIR or .repro_cache)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -427,6 +542,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("--txs", type=int, default=2000)
     scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument(
+        "--mitigation",
+        default="none",
+        choices=("none", "early_abort", "reorder"),
+        help="run a third comparison row with this mitigation strategy "
+        "applied under the same scenario (see docs/FAILURES.md)",
+    )
+    scenario.add_argument(
+        "--retry",
+        type=int,
+        default=1,
+        metavar="ATTEMPTS",
+        help="max client attempts per transaction in the mitigated run "
+        "(1 = no retries; >1 enables deterministic resubmission)",
+    )
     scenario.add_argument(
         "--check-determinism",
         action="store_true",

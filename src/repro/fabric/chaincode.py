@@ -75,6 +75,7 @@ class ChaincodeContext:
         self.rwset.writes[key] = value
 
     def delete_state(self, key: str) -> None:
+        """Stage a key deletion (the DELETED sentinel in the write set)."""
         self.rwset.writes[key] = DELETED
 
     def get_state_range(self, start: str, end: str) -> list[tuple[str, Any]]:
@@ -116,6 +117,7 @@ class Contract:
         return found
 
     def has_function(self, activity: str) -> bool:
+        """Whether ``activity`` names a registered contract function."""
         function = getattr(self, activity, None)
         return callable(function) and getattr(function, "__contract_function__", False)
 
@@ -145,5 +147,6 @@ class Contract:
         return 1.0
 
     def describe(self) -> str:
+        """Human-readable ``name(functions...)`` summary."""
         names = ", ".join(sorted(self.functions()))
         return f"{self.name}({names})"

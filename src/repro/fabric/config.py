@@ -12,6 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.fabric.retry import RetryPolicy
+
+#: Selectable failure-mitigation strategies (see docs/FAILURES.md):
+#: ``none`` is the seed behaviour, ``early_abort`` drops transactions with
+#: already-stale read sets at the client before ordering, ``reorder``
+#: swaps in the conflict-aware in-block scheduler.
+MITIGATIONS = ("none", "early_abort", "reorder")
+
 
 @dataclass(frozen=True)
 class TimingConfig:
@@ -72,9 +80,11 @@ class OrgConfig:
     endorsers_per_org: int = 1
 
     def client_names(self) -> list[str]:
+        """The org's client process names (``<org>-client<i>``)."""
         return [f"{self.name}-client{i}" for i in range(self.num_clients)]
 
     def endorser_names(self) -> list[str]:
+        """The org's endorsing peer names (``<org>-peer<i>``)."""
         return [f"{self.name}-peer{i}" for i in range(self.endorsers_per_org)]
 
 
@@ -101,8 +111,17 @@ class NetworkConfig:
     scheduler_window: int = 5
     timing: TimingConfig = field(default_factory=TimingConfig)
     seed: int = 7
+    #: Client retry/resubmission policy; ``None`` = fire-and-forget clients
+    #: (the seed behaviour — baseline runs stay bit-identical).
+    retry: RetryPolicy | None = None
+    #: Failure-mitigation strategy, one of :data:`MITIGATIONS`.
+    mitigation: str = "none"
 
     def __post_init__(self) -> None:
+        if self.mitigation not in MITIGATIONS:
+            raise ValueError(
+                f"unknown mitigation {self.mitigation!r}; known: {', '.join(MITIGATIONS)}"
+            )
         if self.block_count < 1:
             raise ValueError(f"block_count must be >= 1, got {self.block_count}")
         if self.block_timeout <= 0:
@@ -114,15 +133,18 @@ class NetworkConfig:
             raise ValueError(f"duplicate organization names in {names}")
 
     def org_names(self) -> list[str]:
+        """Organization names, in configuration order."""
         return [org.name for org in self.orgs]
 
     def org(self, name: str) -> OrgConfig:
+        """Look one organization up by name."""
         for org in self.orgs:
             if org.name == name:
                 return org
         raise KeyError(f"unknown organization {name!r}")
 
     def total_clients(self) -> int:
+        """Client processes across all organizations."""
         return sum(org.num_clients for org in self.orgs)
 
     def with_policy(self, expression: str) -> "NetworkConfig":
@@ -132,11 +154,13 @@ class NetworkConfig:
         return clone
 
     def with_block_count(self, block_count: int) -> "NetworkConfig":
+        """Copy with a new block count (a config-update transaction)."""
         clone = self.copy()
         clone.block_count = block_count
         return clone
 
     def copy(self) -> "NetworkConfig":
+        """Deep-enough copy: orgs are cloned, immutable members shared."""
         return NetworkConfig(
             orgs=[replace(org) for org in self.orgs],
             endorsement_policy=self.endorsement_policy,
@@ -148,6 +172,8 @@ class NetworkConfig:
             scheduler_window=self.scheduler_window,
             timing=self.timing,
             seed=self.seed,
+            retry=self.retry,
+            mitigation=self.mitigation,
         )
 
 

@@ -78,6 +78,7 @@ class EndorserPool:
         self._service_time_cache: dict[tuple[str, str], float] = {}
 
     def servers(self) -> list[Server]:
+        """Every endorsing peer (for utilization reporting)."""
         return [p for peers in self._peers_by_org.values() for p in peers]
 
     def peers(self, target: str | None = None) -> list[Server]:
@@ -126,14 +127,20 @@ class EndorserPool:
         orgs = sorted(self.select_orgs())
         endorsing: list[tuple[str, Server]] = []
         missing: list[str] = []
+        reasons: list[str] = []
         for org in orgs:
             peer = self._least_loaded_peer(org)
-            if peer is None or peer.queue_delay() > self._timing.endorse_timeout:
+            if peer is None:
                 missing.append(org)
+                reasons.append("crashed")
+            elif peer.queue_delay() > self._timing.endorse_timeout:
+                missing.append(org)
+                reasons.append("timeout")
             else:
                 endorsing.append((org, peer))
 
         tx.missing_endorsements = tuple(missing)
+        tx.missing_reasons = tuple(reasons)
         if not endorsing:
             # Every selected org timed out or crashed; the client submits an
             # envelope with no endorsements at all, doomed to a policy failure.

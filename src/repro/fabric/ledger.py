@@ -58,10 +58,12 @@ class Ledger:
 
     @property
     def height(self) -> int:
+        """Number of blocks on the chain (the next block number)."""
         return len(self._blocks)
 
     @property
     def tip_hash(self) -> str:
+        """Hash of the newest block (chained into the next one)."""
         return self._blocks[-1].block_hash if self._blocks else self.GENESIS_HASH
 
     def append(self, block: Block) -> None:
@@ -75,6 +77,7 @@ class Ledger:
         self._blocks.append(block)
 
     def block(self, number: int) -> Block:
+        """The block at height ``number``."""
         return self._blocks[number]
 
     def transactions(self, include_config: bool = True) -> Iterator[Transaction]:

@@ -33,7 +33,7 @@ from repro.fabric.reorder import make_scheduler
 from repro.fabric.results import RunResult, summarize_run
 from repro.fabric.state import StateDatabase
 from repro.fabric.transaction import Transaction, TxRequest, TxStatus
-from repro.fabric.validator import ValidationPipeline
+from repro.fabric.validator import ValidationPipeline, rwset_conflict
 from repro.sim.kernel import Kernel
 from repro.sim.rng import SimRng
 
@@ -86,9 +86,19 @@ class FabricNetwork:
             self.rng,
             conditions=self.conditions,
         )
-        self._scheduler = make_scheduler(config.scheduler, config.scheduler_window)
+        # The "reorder" mitigation swaps in the abort-free conflict-aware
+        # scheduler; every other mitigation leaves the configured one.
+        scheduler_name = (
+            "conflict_aware" if config.mitigation == "reorder" else config.scheduler
+        )
+        self._scheduler = make_scheduler(scheduler_name, config.scheduler_window)
         self.validator = ValidationPipeline(
-            self.kernel, config, self.policy, self.state_db, self.ledger
+            self.kernel,
+            config,
+            self.policy,
+            self.state_db,
+            self.ledger,
+            on_block_committed=self._after_block,
         )
         self.orderer = OrderingService(
             self.kernel,
@@ -100,6 +110,14 @@ class FabricNetwork:
         )
         self.aborted: list[Transaction] = []
         self._tx_counter = 0
+        self._retry = config.retry
+        self._mitigation = config.mitigation
+        #: Retry-traffic counters (see docs/FAILURES.md): resubmissions
+        #: issued, retries that ultimately committed, and logical
+        #: transactions whose final allowed attempt still failed.
+        self.retries_issued = 0
+        self.retries_recovered = 0
+        self.retries_exhausted = 0
         self._append_genesis()
 
         self.scenario_engine = None
@@ -160,6 +178,8 @@ class FabricNetwork:
             contract=request.contract,
             invoker_client=client.name,
             invoker_org=self.clients.org_of(client.name),
+            attempt=request.attempt,
+            retry_of=request.retry_of,
         )
 
         def proposal_done(finish: float) -> None:
@@ -176,6 +196,8 @@ class FabricNetwork:
 
             def packaged(finish: float) -> None:
                 del finish
+                if self._mitigation == "early_abort" and self._abort_if_stale(tx):
+                    return
                 self.kernel.schedule_in(
                     self.conditions.network_delay(), lambda: self.orderer.submit(tx)
                 )
@@ -188,14 +210,80 @@ class FabricNetwork:
             tx.abort_stage = "endorsement"
             tx.commit_time = at
             self.aborted.append(tx)
+            # No retry: the chaincode deterministically rejects these
+            # arguments, so a resubmission would abort identically.
 
         self.endorsers.endorse(tx, on_done=endorsed, on_abort=aborted)
+
+    def _abort_if_stale(self, tx: Transaction) -> bool:
+        """The ``early_abort`` mitigation: drop a doomed envelope at the client.
+
+        At packaging time the client re-checks the endorsed read set
+        against the *currently committed* state — the same check the
+        validator will run after ordering.  A transaction that already
+        conflicts cannot possibly validate (versions only move forward),
+        so submitting it would waste ordering and block space; it is
+        aborted here and, when a retry policy is active, resubmitted with
+        a fresh read set.  Returns True when the transaction was dropped.
+        """
+        if tx.endorsers == ():
+            return False  # doomed to a policy failure, not a stale read
+        namespace = self.state_db.namespace(tx.contract)
+        verdict = rwset_conflict(namespace, tx.rwset)
+        if verdict is None:
+            return False
+        _, key = verdict
+        tx.status = TxStatus.EARLY_ABORT
+        tx.abort_stage = "stale_read"
+        tx.conflict_key = key
+        tx.commit_time = self.kernel.now
+        self.aborted.append(tx)
+        self._maybe_retry(tx)
+        return True
 
     def _record_early_abort(self, tx: Transaction, at: float) -> None:
         tx.status = TxStatus.EARLY_ABORT
         tx.abort_stage = "ordering"
         tx.commit_time = at
         self.aborted.append(tx)
+        self._maybe_retry(tx)
+
+    def _after_block(self, block: Block) -> None:
+        """Post-commit hook: account retry outcomes, resubmit failures."""
+        for tx in block.transactions:
+            if tx.is_config:
+                continue
+            if tx.status is TxStatus.SUCCESS:
+                if tx.attempt > 1:
+                    self.retries_recovered += 1
+            else:
+                self._maybe_retry(tx)
+
+    def _maybe_retry(self, tx: Transaction) -> None:
+        """Resubmit a failed transaction under the configured retry policy."""
+        if self._retry is None:
+            return
+        if tx.attempt >= self._retry.max_attempts:
+            self.retries_exhausted += 1
+            return
+        uniform = (
+            (lambda: float(self.rng.stream("client-retry").random()))
+            if self._retry.jitter > 0.0
+            else None
+        )
+        delay = self._retry.delay(tx.attempt, uniform)
+        self.retries_issued += 1
+        self.submit_request(
+            TxRequest(
+                submit_time=self.kernel.now + delay,
+                activity=tx.activity,
+                args=tuple(tx.args),
+                contract=tx.contract,
+                invoker_org=tx.invoker_org,
+                attempt=tx.attempt + 1,
+                retry_of=tx.retry_of or tx.tx_id,
+            )
+        )
 
     def _deliver_block(self, transactions: list[Transaction], cut_reason: str, at: float) -> None:
         del at
@@ -216,10 +304,11 @@ class FabricNetwork:
 
         committed = [tx for tx in self.ledger.transactions(include_config=False)]
         accounted = len(committed) + len(self.aborted)
-        if accounted != len(requests):
+        issued = len(requests) + self.retries_issued
+        if accounted != issued:
             raise RuntimeError(
                 f"transaction accounting mismatch: {accounted} finished "
-                f"of {len(requests)} issued"
+                f"of {issued} issued ({self.retries_issued} retries)"
             )
 
         first_submit = ordered[0].submit_time

@@ -51,6 +51,7 @@ class OrderingService:
 
     @property
     def server(self) -> Server:
+        """The ordering service's server resource."""
         return self._server
 
     def submit(self, tx: Transaction) -> None:
@@ -66,6 +67,7 @@ class OrderingService:
             self._cut("bytes")
 
     def pending(self) -> int:
+        """Envelopes currently buffered toward the next block."""
         return len(self._buffer)
 
     def _arm_timeout(self) -> None:

@@ -44,18 +44,22 @@ class EndorsementPolicy:
 
     @staticmethod
     def single(org: str) -> "EndorsementPolicy":
+        """Leaf node: one organization's endorsement."""
         return EndorsementPolicy(kind="org", org=org)
 
     @staticmethod
     def and_(*children: "EndorsementPolicy") -> "EndorsementPolicy":
+        """Conjunction: every child must be satisfied."""
         return EndorsementPolicy(kind="and", children=tuple(children))
 
     @staticmethod
     def or_(*children: "EndorsementPolicy") -> "EndorsementPolicy":
+        """Disjunction: at least one child must be satisfied."""
         return EndorsementPolicy(kind="or", children=tuple(children))
 
     @staticmethod
     def out_of(m: int, *children: "EndorsementPolicy") -> "EndorsementPolicy":
+        """Threshold: at least ``m`` of the children must be satisfied."""
         if not 0 < m <= len(children):
             raise PolicyError(f"OutOf threshold {m} invalid for {len(children)} children")
         return EndorsementPolicy(kind="outof", m=m, children=tuple(children))
@@ -192,6 +196,7 @@ class _Parser:
             raise PolicyError(f"expected {token!r}, found {actual!r}")
 
     def parse(self) -> EndorsementPolicy:
+        """Parse the full expression; reject trailing tokens."""
         policy = self._parse_node()
         if self._peek() is not None:
             raise PolicyError(f"trailing tokens starting at {self._peek()!r}")

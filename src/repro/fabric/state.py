@@ -47,6 +47,7 @@ class WorldState:
         return self._data.get(key)
 
     def version(self, key: str) -> Version | None:
+        """The committed version of ``key``, or ``None`` if absent."""
         entry = self._data.get(key)
         return entry.version if entry is not None else None
 
@@ -60,6 +61,7 @@ class WorldState:
         self._data[key] = VersionedValue(value=value, version=version)
 
     def delete(self, key: str) -> None:
+        """Remove ``key`` from the namespace (committed deletion)."""
         if key in self._data:
             del self._data[key]
             index = bisect.bisect_left(self._sorted_keys, key)
@@ -99,7 +101,9 @@ class StateDatabase:
         return self._namespaces[name]
 
     def namespaces(self) -> list[str]:
+        """All contract namespaces created so far."""
         return sorted(self._namespaces)
 
     def total_keys(self) -> int:
+        """Keys committed across every namespace."""
         return sum(len(ws) for ws in self._namespaces.values())

@@ -38,6 +38,7 @@ class TxStatus(enum.Enum):
 
     @property
     def is_failure(self) -> bool:
+        """True for every status except ``SUCCESS``."""
         return self is not TxStatus.SUCCESS
 
 
@@ -67,6 +68,7 @@ class RangeQueryInfo:
     results: tuple[tuple[str, Version], ...]
 
     def keys(self) -> tuple[str, ...]:
+        """The keys observed by the range query, in scan order."""
         return tuple(key for key, _ in self.results)
 
 
@@ -92,10 +94,12 @@ class ReadWriteSet:
 
     @property
     def write_keys(self) -> frozenset[str]:
+        """All keys written (deletions included)."""
         return frozenset(self.writes)
 
     @property
     def all_keys(self) -> frozenset[str]:
+        """RWS(x): every key the transaction read or wrote."""
         return self.read_keys | self.write_keys
 
     def derive_type(self) -> TxType:
@@ -142,6 +146,11 @@ class TxRequest:
     args: tuple[Any, ...] = ()
     contract: str = "contract"
     invoker_org: str | None = None
+    #: Attempt number of this submission (1 = original; >1 = client retry
+    #: issued by the :class:`~repro.fabric.retry.RetryPolicy`).
+    attempt: int = 1
+    #: tx_id of the original (first-attempt) transaction this resubmits.
+    retry_of: str | None = None
 
 
 @dataclass(slots=True)
@@ -171,12 +180,28 @@ class Transaction:
     is_config: bool = False
     #: Where an EARLY_ABORT happened: "endorsement" (pruned contract; the
     #: transaction was never submitted, so Caliper-style success rates
-    #: exclude it from the denominator) or "ordering" (scheduler abort;
-    #: the transaction was submitted and counts as a failure).
+    #: exclude it from the denominator), "ordering" (scheduler abort; the
+    #: transaction was submitted and counts as a failure) or "stale_read"
+    #: (the early-abort mitigation dropped it at packaging time because
+    #: its read set was already stale; counts as a submitted failure).
     abort_stage: str | None = None
+    #: Attempt number (1 = original submission, >1 = client retry).
+    attempt: int = 1
+    #: tx_id of the first attempt, when this transaction is a retry.
+    retry_of: str | None = None
+    #: The key the validator (or the early-abort mitigation) found in
+    #: conflict — MVCC version mismatch, phantom membership change, or
+    #: stale read.  ``None`` for successes and non-conflict failures.
+    #: Forensics uses it for hot-key attribution (docs/FAILURES.md).
+    conflict_key: str | None = None
+    #: Why each org in ``missing_endorsements`` went missing, parallel to
+    #: that tuple: "crashed" (every peer of the org was down) or "timeout"
+    #: (the least-loaded peer's queue exceeded the endorsement timeout).
+    missing_reasons: tuple[str, ...] = ()
 
     @property
     def tx_type(self) -> TxType:
+        """Transaction type derived from the read-write set (attribute 8)."""
         return self.rwset.derive_type()
 
     @property
@@ -187,6 +212,7 @@ class Transaction:
         return self.commit_time - self.client_timestamp
 
     def estimated_bytes(self) -> int:
+        """Envelope size including args and endorsement signatures."""
         size = self.rwset.estimated_bytes()
         size += sum(len(arg_str) for arg_str in map(str, self.args))
         size += 64 * max(1, len(self.endorsers))

@@ -17,9 +17,43 @@ from repro.fabric.config import NetworkConfig
 from repro.fabric.ledger import Block, Ledger
 from repro.fabric.policy import EndorsementPolicy
 from repro.fabric.state import StateDatabase
-from repro.fabric.transaction import Transaction, TxStatus, Version
+from repro.fabric.transaction import ReadWriteSet, Transaction, TxStatus, Version
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Server
+
+
+def rwset_conflict(namespace, rwset: ReadWriteSet) -> tuple[TxStatus, str] | None:
+    """Check a read-write set against the current committed state.
+
+    Returns ``(status, key)`` for the first conflict found — the failure
+    status Fabric's validator would assign and the key that caused it (for
+    a phantom, the key whose range *membership* changed) — or ``None``
+    when every read is still current.  Shared by the validation pipeline
+    and the ``early_abort`` mitigation, which runs the same check at
+    packaging time (see docs/FAILURES.md).
+    """
+    # Point reads: version must match current committed state.
+    for key, read_version in rwset.reads.items():
+        current = namespace.version(key)
+        if read_version == MISSING_VERSION:
+            if current is not None:
+                return TxStatus.MVCC_CONFLICT, key
+        elif current != read_version:
+            return TxStatus.MVCC_CONFLICT, key
+
+    # Range reads: membership change -> phantom, version change -> MVCC.
+    for query in rwset.range_queries:
+        current_scan = {
+            key: entry.version for key, entry in namespace.range_scan(query.start, query.end)
+        }
+        recorded = dict(query.results)
+        if set(current_scan) != set(recorded):
+            changed = min(set(current_scan) ^ set(recorded))
+            return TxStatus.PHANTOM_CONFLICT, changed
+        for key, read_version in recorded.items():
+            if current_scan[key] != read_version:
+                return TxStatus.MVCC_CONFLICT, key
+    return None
 
 
 class ValidationPipeline:
@@ -49,6 +83,7 @@ class ValidationPipeline:
 
     @property
     def server(self) -> Server:
+        """The validation pipeline's server resource."""
         return self._server
 
     #: Extra validation cost per key observed through a range query, as a
@@ -111,26 +146,11 @@ class ValidationPipeline:
             return TxStatus.ENDORSEMENT_FAILURE
 
         namespace = self._state_db.namespace(tx.contract)
-        # Point reads: version must match current committed state.
-        for key, read_version in tx.rwset.reads.items():
-            current = namespace.version(key)
-            if read_version == MISSING_VERSION:
-                if current is not None:
-                    return TxStatus.MVCC_CONFLICT
-            elif current != read_version:
-                return TxStatus.MVCC_CONFLICT
-
-        # Range reads: membership change -> phantom, version change -> MVCC.
-        for query in tx.rwset.range_queries:
-            current_scan = {
-                key: entry.version for key, entry in namespace.range_scan(query.start, query.end)
-            }
-            recorded = dict(query.results)
-            if set(current_scan) != set(recorded):
-                return TxStatus.PHANTOM_CONFLICT
-            for key, read_version in recorded.items():
-                if current_scan[key] != read_version:
-                    return TxStatus.MVCC_CONFLICT
+        verdict = rwset_conflict(namespace, tx.rwset)
+        if verdict is not None:
+            status, key = verdict
+            tx.conflict_key = key
+            return status
         return TxStatus.SUCCESS
 
     def _apply_writes(self, tx: Transaction, version: Version) -> None:

@@ -70,6 +70,19 @@ def _key_family(key: str) -> tuple[str, str] | None:
     return family, value or key
 
 
+def key_family(key: str) -> tuple[str, str] | None:
+    """Public form of the key-family split used across the analysis layers.
+
+    ``key_family("asset:42")`` and ``key_family("asset000042")`` both
+    return ``("asset", ...)``; keys with no recognizable family prefix
+    return ``None``.  The forensics hot-key attribution
+    (:mod:`repro.analysis.forensics`) groups conflicting keys with the
+    same splitter the CaseID derivation uses, so both views agree on what
+    a "key family" is.
+    """
+    return _key_family(key)
+
+
 def _values_for(record: LogRecord, attribute: str) -> list[str]:
     """All values of ``attribute`` exhibited by one transaction."""
     kind, _, name = attribute.partition(":")

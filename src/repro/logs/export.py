@@ -61,6 +61,7 @@ def _record_to_dict(record: LogRecord) -> dict[str, Any]:
         "block_position": record.block_position,
         "commit_time": record.commit_time,
         "contract": record.contract,
+        "attempt": record.attempt,
     }
 
 
@@ -85,6 +86,7 @@ def _record_from_dict(data: dict[str, Any]) -> LogRecord:
         block_position=int(data.get("block_position", -1)),
         commit_time=float(data["commit_time"]),
         contract=str(data.get("contract", "contract")),
+        attempt=int(data.get("attempt", 1)),
     )
 
 

@@ -109,4 +109,5 @@ def _to_record(tx, order: int, block_position: int) -> LogRecord:
         block_position=block_position,
         commit_time=tx.commit_time if tx.commit_time is not None else -1.0,
         contract=tx.contract,
+        attempt=tx.attempt,
     )

@@ -106,6 +106,34 @@ def _chaos() -> ScenarioSpec:
     )
 
 
+def _partial_outage() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="partial_outage",
+        description=(
+            "A realistic cascading incident: Org2's peer crashes while "
+            "Org1's surviving peers grind 60x slower (endorsement queues "
+            "blow past the client timeout), a burst piles traffic on, and "
+            "a conflict storm hits the recovery window — every abort "
+            "cause in docs/FAILURES.md shows up in one run."
+        ),
+        interventions=(
+            Intervention(kind="peer_crash", at=0.5, duration=3.0, target="Org2-peer0"),
+            Intervention(
+                kind="endorser_slowdown", at=0.5, duration=2.5, target="Org1", factor=60.0
+            ),
+            Intervention(kind="burst_arrivals", at=0.5, duration=2.0, factor=2.0),
+            Intervention(
+                kind="conflict_storm",
+                at=2.0,
+                duration=3.0,
+                fraction=0.5,
+                hot_keys=4,
+                activity="update",
+            ),
+        ),
+    )
+
+
 _BUILDERS = {
     "crash_burst": _crash_burst,
     "crash_recover": _crash_recover,
@@ -113,6 +141,7 @@ _BUILDERS = {
     "degraded_orderer": _degraded_orderer,
     "conflict_storm": _conflict_storm,
     "chaos": _chaos,
+    "partial_outage": _partial_outage,
 }
 
 

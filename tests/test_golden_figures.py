@@ -45,7 +45,14 @@ GOLDEN_EXPERIMENTS = [
     "table3/workload_rangeread_heavy",
     # The scenario engine: crash + burst under the default workload.
     "scenario_faults/crash_burst",
+    # The forensics showcase scenario (every abort cause in one run).
+    "scenario_faults/partial_outage",
 ]
+
+#: Experiment whose full baseline forensics report is pinned verbatim
+#: (tests/golden/forensics__*.json): the abort-cause taxonomy, hot keys,
+#: per-org breakdown, bucket series and timeline of the partial outage.
+FORENSICS_GOLDEN = "scenario_faults/partial_outage"
 
 
 def _golden_path(exp_id: str) -> Path:
@@ -59,10 +66,55 @@ def _compute(exp_id: str) -> dict:
 
     spec = get(exp_id).with_overrides(total_transactions=GOLDEN_TXS)
     data = outcome_to_dict(run_spec(spec))
+    # The row goldens pin headline numbers only; the forensics report has
+    # its own golden file (see FORENSICS_GOLDEN), so the row files stay
+    # byte-identical across the forensics feature.
+    data.pop("forensics", None)
     data["exp_id"] = exp_id
     data["total_transactions"] = GOLDEN_TXS
     data["seed"] = spec.seed
     return data
+
+
+def _forensics_path(exp_id: str) -> Path:
+    return GOLDEN_DIR / ("forensics__" + exp_id.replace("/", "__") + ".json")
+
+
+def _compute_forensics(exp_id: str) -> dict:
+    """The baseline run's forensics report for ``exp_id`` at GOLDEN_TXS."""
+    from repro.analysis import forensics_report
+    from repro.bench.harness import unpack_bundle
+    from repro.bench.registry import get
+    from repro.fabric.network import run_workload
+
+    spec = get(exp_id).with_overrides(total_transactions=GOLDEN_TXS)
+    config, family, requests, scenario = unpack_bundle(spec.make_bundle()())
+    network, _ = run_workload(
+        config, family.deploy().contracts, requests, scenario=scenario
+    )
+    return {
+        "exp_id": exp_id,
+        "total_transactions": GOLDEN_TXS,
+        "seed": spec.seed,
+        "report": forensics_report(network).to_dict(),
+    }
+
+
+def test_forensics_report_matches_golden():
+    path = _forensics_path(FORENSICS_GOLDEN)
+    assert path.is_file(), (
+        f"missing golden forensics file {path}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_golden_figures.py --regenerate`"
+    )
+    golden = json.loads(path.read_text())
+    measured = _compute_forensics(FORENSICS_GOLDEN)
+    assert measured["report"] == golden["report"], (
+        f"{FORENSICS_GOLDEN}: the forensics report drifted from "
+        f"tests/golden — if the change is intended, regenerate"
+    )
+    # The acceptance bar: the pinned report attributes >= 4 abort causes.
+    causes = [c for c, n in golden["report"]["cause_counts"].items() if n > 0]
+    assert len(causes) >= 4
 
 
 @pytest.mark.parametrize("exp_id", GOLDEN_EXPERIMENTS)
@@ -88,6 +140,10 @@ def regenerate() -> None:
         path = _golden_path(exp_id)
         path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
         print(f"wrote {path}")
+    data = _compute_forensics(FORENSICS_GOLDEN)
+    path = _forensics_path(FORENSICS_GOLDEN)
+    path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":
