@@ -10,6 +10,7 @@ analyze --cached <exp_id>`` renders a cached run's report.
 
 from repro.analysis.forensics import (
     CAUSES,
+    ForensicsAccumulator,
     ForensicsReport,
     RetryStats,
     TimeBucket,
@@ -29,6 +30,7 @@ __all__ = [
     "CAUSES",
     "MITIGATIONS",
     "MITIGATION_DESCRIPTIONS",
+    "ForensicsAccumulator",
     "ForensicsReport",
     "RetryStats",
     "TimeBucket",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from array import array
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -226,136 +227,179 @@ _KEYED_CAUSES = frozenset(
 TOP_N = 10
 
 
+class ForensicsAccumulator:
+    """Streaming forensics: fold finished transactions in, then :meth:`finish`.
+
+    Implements the transaction-consumer protocol (``consume``/``finish``).
+    Every internal structure is insensitive to consumption order (counts,
+    sorted tops, fixed-order cause maps), so feeding committed and aborted
+    transactions interleaved — the way a live run surfaces them — yields
+    the same :class:`ForensicsReport` as the historical committed-then-
+    aborted batch pass.  Per-transaction state is one timestamp double and
+    one cause byte (the bucket series needs the global span before it can
+    bin); everything else is bounded by the key space and org count.
+    """
+
+    def __init__(self, buckets: int = DEFAULT_BUCKETS) -> None:
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        self._buckets = buckets
+        self._cause_counts = {cause: 0 for cause in CAUSES}
+        self._cause_index = {cause: i for i, cause in enumerate(CAUSES)}
+        self._key_hits: dict[str, int] = {}
+        self._family_hits: dict[str, int] = {}
+        self._org_failures: dict[str, int] = {}
+        self._submitted = 0
+        self._successes = 0
+        self._max_attempt = 1
+        self._stamps = array("d")
+        self._stamp_causes = array("b")
+
+    def consume(self, tx: Transaction) -> None:
+        """Fold one finished (committed or aborted) transaction in."""
+        if tx.attempt > self._max_attempt:
+            self._max_attempt = tx.attempt
+        if tx.abort_stage != "endorsement":
+            self._submitted += 1
+        cause = classify_transaction(tx)
+        self._stamps.append(tx.client_timestamp)
+        self._stamp_causes.append(-1 if cause is None else self._cause_index[cause])
+        if cause is None:
+            self._successes += 1
+            return
+        self._cause_counts[cause] += 1
+        if cause in _KEYED_CAUSES and tx.conflict_key is not None:
+            key_hits = self._key_hits
+            key_hits[tx.conflict_key] = key_hits.get(tx.conflict_key, 0) + 1
+            parsed = key_family(tx.conflict_key)
+            if parsed is not None:
+                family_hits = self._family_hits
+                family_hits[parsed[0]] = family_hits.get(parsed[0], 0) + 1
+        if tx.status is TxStatus.ENDORSEMENT_FAILURE:
+            org_failures = self._org_failures
+            for org in tx.missing_endorsements:
+                org_failures[org] = org_failures.get(org, 0) + 1
+
+    def finish(
+        self,
+        scenario: str | None = None,
+        mitigation: str = "none",
+        timeline: list[tuple[float, str, str]] | None = None,
+        resubmissions: int = 0,
+        recovered: int = 0,
+        exhausted: int = 0,
+    ) -> ForensicsReport:
+        """Close the stream and build the :class:`ForensicsReport`."""
+        total = len(self._stamps)
+        return ForensicsReport(
+            scenario=scenario,
+            mitigation=mitigation,
+            total_issued=total,
+            submitted=self._submitted,
+            successes=self._successes,
+            failures=total - self._successes,
+            cause_counts=self._cause_counts,
+            hot_keys=_top(self._key_hits),
+            key_families=_top(self._family_hits),
+            org_policy_failures=dict(sorted(self._org_failures.items())),
+            buckets=self._series(),
+            timeline=list(timeline) if timeline else [],
+            retry=RetryStats(
+                resubmissions=resubmissions,
+                recovered=recovered,
+                exhausted=exhausted,
+                max_attempt=self._max_attempt,
+            ),
+        )
+
+    def _series(self) -> list[TimeBucket]:
+        """Bucket issued/failed counts by client submit time.
+
+        Failures are attributed to the bucket the transaction was
+        *submitted* in, not where it committed — a doomed transaction was
+        doomed by the conditions at submission, which is what lines the
+        series up with the intervention timeline.  The binning arithmetic
+        is kept byte-identical to the pinned golden forensics report.
+        """
+        stamps = self._stamps
+        if not stamps:
+            return []
+        start = min(stamps)
+        end = max(stamps)
+        buckets = self._buckets
+        width = (end - start) / buckets if end > start else 0.0
+        if width <= 0.0:
+            buckets = 1
+
+        issued = [0] * buckets
+        failed = [0] * buckets
+        causes: list[dict[str, int]] = [{} for _ in range(buckets)]
+        for stamp, cause_index in zip(stamps, self._stamp_causes):
+            if width > 0.0:
+                index = min(buckets - 1, int((stamp - start) / width))
+            else:
+                index = 0
+            issued[index] += 1
+            if cause_index >= 0:
+                failed[index] += 1
+                cause = CAUSES[cause_index]
+                causes[index][cause] = causes[index].get(cause, 0) + 1
+
+        out = []
+        for index in range(buckets):
+            bucket_start = start + index * width
+            bucket_end = end if index == buckets - 1 else start + (index + 1) * width
+            out.append(
+                TimeBucket(
+                    start=bucket_start,
+                    end=bucket_end,
+                    issued=issued[index],
+                    failed=failed[index],
+                    causes={
+                        cause: causes[index][cause]
+                        for cause in CAUSES
+                        if cause in causes[index]
+                    },
+                )
+            )
+        return out
+
+
 def forensics_report(
     network: "FabricNetwork", buckets: int = DEFAULT_BUCKETS
 ) -> ForensicsReport:
     """Post-process a finished network into a :class:`ForensicsReport`.
 
-    Pure and deterministic: reads the ledger, the aborted set and the
-    scenario timeline; mutates nothing.  ``buckets`` controls the
-    resolution of the failure-rate series.
+    Thin batch wrapper over :class:`ForensicsAccumulator` — pure and
+    deterministic: reads the ledger, the aborted set and the scenario
+    timeline; mutates nothing.  ``buckets`` controls the resolution of
+    the failure-rate series.
     """
-    if buckets < 1:
-        raise ValueError(f"need at least one bucket, got {buckets}")
-    transactions = list(network.ledger.transactions(include_config=False))
-    transactions += network.aborted
+    accumulator = ForensicsAccumulator(buckets=buckets)
+    for tx in network.ledger.transactions(include_config=False):
+        accumulator.consume(tx)
+    for tx in network.aborted:
+        accumulator.consume(tx)
 
-    cause_counts = {cause: 0 for cause in CAUSES}
-    key_hits: dict[str, int] = {}
-    family_hits: dict[str, int] = {}
-    org_failures: dict[str, int] = {}
-    submitted = 0
-    successes = 0
-    max_attempt = 1
-    classified: list[tuple[Transaction, str | None]] = []
-
-    for tx in transactions:
-        if tx.attempt > max_attempt:
-            max_attempt = tx.attempt
-        if tx.abort_stage != "endorsement":
-            submitted += 1
-        cause = classify_transaction(tx)
-        classified.append((tx, cause))
-        if cause is None:
-            successes += 1
-            continue
-        cause_counts[cause] += 1
-        if cause in _KEYED_CAUSES and tx.conflict_key is not None:
-            key_hits[tx.conflict_key] = key_hits.get(tx.conflict_key, 0) + 1
-            parsed = key_family(tx.conflict_key)
-            if parsed is not None:
-                family_hits[parsed[0]] = family_hits.get(parsed[0], 0) + 1
-        if tx.status is TxStatus.ENDORSEMENT_FAILURE:
-            for org in tx.missing_endorsements:
-                org_failures[org] = org_failures.get(org, 0) + 1
-
-    failures = len(transactions) - successes
-    span = _bucketize(classified, buckets)
-
-    timeline = []
+    timeline: list[tuple[float, str, str]] = []
     scenario_name = None
     if network.scenario_engine is not None:
         scenario_name = network.scenario_engine.spec.name
         timeline = sorted(network.scenario_engine.timeline, key=lambda e: (e[0], e[1]))
 
-    return ForensicsReport(
+    return accumulator.finish(
         scenario=scenario_name,
         mitigation=network.config.mitigation,
-        total_issued=len(transactions),
-        submitted=submitted,
-        successes=successes,
-        failures=failures,
-        cause_counts=cause_counts,
-        hot_keys=_top(key_hits),
-        key_families=_top(family_hits),
-        org_policy_failures=dict(sorted(org_failures.items())),
-        buckets=span,
         timeline=timeline,
-        retry=RetryStats(
-            resubmissions=network.retries_issued,
-            recovered=network.retries_recovered,
-            exhausted=network.retries_exhausted,
-            max_attempt=max_attempt,
-        ),
+        resubmissions=network.retries_issued,
+        recovered=network.retries_recovered,
+        exhausted=network.retries_exhausted,
     )
 
 
 def _top(hits: dict[str, int], n: int = TOP_N) -> list[tuple[str, int]]:
     """Most-hit entries first; count desc, then key asc (deterministic)."""
     return sorted(hits.items(), key=lambda item: (-item[1], item[0]))[:n]
-
-
-def _bucketize(
-    classified: list[tuple[Transaction, str | None]], buckets: int
-) -> list[TimeBucket]:
-    """Bucket issued/failed counts by client submit time.
-
-    ``classified`` carries each transaction with its precomputed cause
-    (classification already happened in the main pass).  Failures are
-    attributed to the bucket the transaction was *submitted* in, not
-    where it committed — a doomed transaction was doomed by the
-    conditions at submission, which is what lines the series up with the
-    intervention timeline.
-    """
-    if not classified:
-        return []
-    start = min(tx.client_timestamp for tx, _ in classified)
-    end = max(tx.client_timestamp for tx, _ in classified)
-    width = (end - start) / buckets if end > start else 0.0
-    if width <= 0.0:
-        buckets = 1
-
-    issued = [0] * buckets
-    failed = [0] * buckets
-    causes: list[dict[str, int]] = [{} for _ in range(buckets)]
-    for tx, cause in classified:
-        if width > 0.0:
-            index = min(buckets - 1, int((tx.client_timestamp - start) / width))
-        else:
-            index = 0
-        issued[index] += 1
-        if cause is not None:
-            failed[index] += 1
-            causes[index][cause] = causes[index].get(cause, 0) + 1
-
-    out = []
-    for index in range(buckets):
-        bucket_start = start + index * width
-        bucket_end = end if index == buckets - 1 else start + (index + 1) * width
-        out.append(
-            TimeBucket(
-                start=bucket_start,
-                end=bucket_end,
-                issued=issued[index],
-                failed=failed[index],
-                causes={
-                    cause: causes[index][cause]
-                    for cause in CAUSES
-                    if cause in causes[index]
-                },
-            )
-        )
-    return out
 
 
 def report_digest(report: ForensicsReport | dict) -> str:

@@ -82,6 +82,10 @@ class SuiteReport:
 
 def run_spec(spec: ExperimentSpec) -> ExperimentOutcome:
     """Run one experiment serially, exactly as the bench scripts always have."""
+    if spec.maker == "sharded":
+        from repro.shard import run_registry_spec
+
+        return run_registry_spec(spec)
     return execute_experiment(
         spec.title, spec.make_bundle(), spec.resolved_plans(), paper=spec.paper_dict()
     )
@@ -225,15 +229,31 @@ def _run_parallel(
     plans_open: dict[str, int] = {}
 
     with ProcessPoolExecutor(max_workers=report.jobs) as pool:
-        futures = {
-            pool.submit(_baseline_task, spec): ("baseline", spec.exp_id, None)
-            for spec in to_run
-        }
+        futures = {}
+        for spec in to_run:
+            if spec.maker == "sharded":
+                # Sharded experiments have no baseline/plan split: the
+                # whole run is one pool task producing the outcome.
+                futures[pool.submit(run_spec, spec)] = ("whole", spec.exp_id, None)
+            else:
+                futures[pool.submit(_baseline_task, spec)] = (
+                    "baseline",
+                    spec.exp_id,
+                    None,
+                )
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
             for future in done:
                 kind, exp_id, plan_index = futures.pop(future)
                 spec = by_id[exp_id]
+                if kind == "whole":
+                    outcomes[exp_id] = future.result()
+                    report.simulated_runs += spec.run_count()
+                    report.executed.append(exp_id)
+                    if cache is not None:
+                        cache.put(spec, outcomes[exp_id])
+                    note(f"executed {exp_id}")
+                    continue
                 if kind == "baseline":
                     result: _BaselineResult = future.result()
                     baselines[exp_id] = result

@@ -20,6 +20,9 @@ The registry covers the layers every experiment run exercises:
                           optimized re-runs) at a small transaction budget
 ``forensics_pass``        the failure-forensics post-processing pass over a
                           faulted run with retries (repro.analysis)
+``streaming_overhead``    the same pipeline round trip in streaming mode —
+                          request generator, RunStream fan-out and bounded
+                          accumulators instead of a materialized ledger
 ========================  =====================================================
 """
 
@@ -186,6 +189,51 @@ def _forensics_pass() -> Trial:
     return trial
 
 
+def _streaming_overhead() -> Trial:
+    """The streaming counterpart of ``pipeline_round_trip``.
+
+    Same workload and seed, but the run goes through the O(blocks) path:
+    requests pulled one at a time from the generator, blocks fanned out
+    through a :class:`~repro.logs.stream.RunStream` into the bounded
+    shard accumulators, no ledger materialization.  Compared against
+    ``pipeline_round_trip`` this measures what the streaming machinery
+    costs; the ``--compare`` ratchet keeps that overhead from creeping.
+    """
+    from repro.bench.experiments import synthetic_spec
+
+    spec = synthetic_spec("default", seed=7)
+    spec.total_transactions = 1500
+
+    def trial() -> object:
+        from repro.contracts.registry import genchain_family
+        from repro.fabric.network import FabricNetwork
+        from repro.logs.stream import RunStream
+        from repro.shard.summary import RateSeriesAccumulator, RunStatsAccumulator
+        from repro.workloads.synthetic import iter_synthetic_requests
+
+        deployment = genchain_family(num_keys=spec.num_keys).deploy()
+        stream = RunStream()
+        run_stats = RunStatsAccumulator()
+        rates = RateSeriesAccumulator(1.0)
+        stream.add_transaction_consumer(run_stats).add_record_consumer(rates)
+        network = FabricNetwork(
+            spec.to_network_config(), deployment.contracts, stream=stream
+        )
+        stats = network.run_streamed(
+            iter_synthetic_requests(spec, deployment.contracts[0].name)
+        )
+        return {
+            "records": stream.records_streamed,
+            "committed": stats.committed,
+            "aborted": stats.aborted,
+            "blocks": stats.blocks,
+            "successes": run_stats.successes,
+            "intervals": len(rates.totals),
+        }
+
+    return trial
+
+
 _REGISTRY: tuple[Microbenchmark, ...] = (
     Microbenchmark(
         name="kernel_event_churn",
@@ -216,6 +264,11 @@ _REGISTRY: tuple[Microbenchmark, ...] = (
         name="forensics_pass",
         description="forensics post-processing of a 2k-tx faulted run with retries",
         make=_forensics_pass,
+    ),
+    Microbenchmark(
+        name="streaming_overhead",
+        description="the 1.5k-tx pipeline round trip through the streaming path",
+        make=_streaming_overhead,
     ),
 )
 

@@ -5,8 +5,10 @@
 each benchmark shared by both reports:
 
 * **regression** — new median slower than the threshold allows *and* the
-  gap clears the combined MAD noise floor (3× the larger MAD), so a noisy
-  trial cannot fail a build on its own;
+  gap clears the noise floor (3× the larger MAD, but never less than
+  :data:`MIN_RELATIVE_NOISE` of the baseline median, so a zero-MAD
+  baseline cannot make the ratchet flaky-strict), so a noisy trial
+  cannot fail a build on its own;
 * **improvement** — symmetric, faster beyond threshold and noise;
 * **unchanged** — everything else.
 
@@ -29,6 +31,12 @@ DEFAULT_THRESHOLD = 0.25
 
 #: How many MADs the median shift must clear to count as signal.
 NOISE_MADS = 3.0
+
+#: Minimum noise floor as a fraction of the baseline median.  A MAD of 0
+#: (single trial, or timings identical to clock resolution) would
+#: otherwise collapse the noise floor to zero and let any sub-threshold
+#: shift count as signal — the flaky-strict failure mode this guards.
+MIN_RELATIVE_NOISE = 0.02
 
 
 @dataclass(frozen=True)
@@ -64,7 +72,10 @@ def compare_reports(
         ratio = (
             result.median_s / baseline.median_s if baseline.median_s > 0 else float("inf")
         )
-        noise = NOISE_MADS * max(baseline.mad_s, result.mad_s)
+        noise = max(
+            NOISE_MADS * max(baseline.mad_s, result.mad_s),
+            MIN_RELATIVE_NOISE * baseline.median_s,
+        )
         shift = result.median_s - baseline.median_s
         if baseline.digest != result.digest:
             verdict = "digest-changed"

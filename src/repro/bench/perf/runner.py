@@ -16,6 +16,7 @@ perf test suite asserts on, so CI stays immune to machine noise.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import time
@@ -122,9 +123,20 @@ def run_benchmarks(
         # (every registered benchmark does), so rounds stay independent.
         trial = bench.make()
         for round_index in range(warmup + trials):
-            started = time.perf_counter()
-            payload = trial()
-            elapsed = time.perf_counter() - started
+            # Collect leftover garbage, then keep the collector out of the
+            # timed region (the ``timeit`` discipline): an incidental
+            # gen-2 pass mid-trial charges another workload's garbage to
+            # this benchmark and can dominate a short trial's MAD.
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                payload = trial()
+                elapsed = time.perf_counter() - started
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
             if round_index >= warmup:
                 timings.append(elapsed)
                 digests.add(_digest(payload))

@@ -50,6 +50,12 @@ class ExperimentSpec:
 
     def make_bundle(self) -> MakeBundle:
         """Materialize the bundle factory this spec describes."""
+        if self.maker == "sharded":
+            raise ValueError(
+                f"{self.exp_id} is a sharded large-scale experiment: it has "
+                "no single workload bundle; the executor routes it through "
+                "repro.shard.run_registry_spec"
+            )
         if self.maker == "synthetic":
             (experiment,) = self.maker_args
             return defs.make_synthetic(
@@ -390,11 +396,49 @@ def _build_registry() -> dict[str, tuple[ExperimentSpec, ...]]:
         # Beyond the paper: the mitigation × scenario forensics sweep
         # (repro.analysis) — "which mitigation recovers which abort cause?".
         "failure_forensics": _forensics_group(),
+        # Beyond the paper: streamed multi-channel runs at scale
+        # (repro.shard) — on-demand, so a plain `repro suite` never
+        # launches the 1M-transaction run by accident.
+        "large_scale": _large_scale_group(),
     }
     return registry
 
 
+def _large_scale_group() -> tuple[ExperimentSpec, ...]:
+    """Sharded streaming runs (``maker="sharded"``, args ``(base, channels)``).
+
+    These run through :func:`repro.shard.run_registry_spec`: N channels,
+    each a streaming-mode network with bounded accumulators, stitched
+    into one digestable summary.  ``multichannel_5k`` backs the tier-1
+    digest golden; ``multichannel_50k`` is the CI smoke scale;
+    ``multichannel_1m`` is the million-transaction demonstration
+    (reach it explicitly with ``repro suite --only large_scale/multichannel_1m``
+    or ``repro shard --txs 1000000``).
+    """
+    table: tuple[tuple[str, str, int, int], ...] = (
+        ("multichannel_5k", "default", 3, 5_000),
+        ("multichannel_50k", "default", 4, 50_000),
+        ("multichannel_1m", "default", 8, 1_000_000),
+    )
+    return tuple(
+        ExperimentSpec(
+            exp_id=f"large_scale/{variant}",
+            group="large_scale",
+            variant=variant,
+            title=f"Large scale / {channels}-channel {total:,}-tx streamed run",
+            maker="sharded",
+            maker_args=(base, channels),
+            total_transactions=total,
+        )
+        for variant, base, channels, total in table
+    )
+
+
 REGISTRY: dict[str, tuple[ExperimentSpec, ...]] = _build_registry()
+
+#: Groups that run only when named explicitly (``--only``): a default
+#: ``repro suite`` must never launch a million-transaction run.
+ON_DEMAND_GROUPS = frozenset({"large_scale"})
 
 
 def groups() -> list[str]:
@@ -412,14 +456,24 @@ def experiments(group: str) -> tuple[ExperimentSpec, ...]:
         ) from None
 
 
-def all_specs() -> list[ExperimentSpec]:
-    """Every registered experiment, in figure order."""
-    return [spec for specs in REGISTRY.values() for spec in specs]
+def all_specs(include_on_demand: bool = False) -> list[ExperimentSpec]:
+    """Every registered experiment, in figure order.
+
+    On-demand groups (:data:`ON_DEMAND_GROUPS`) are excluded unless
+    ``include_on_demand`` — the full suite stays affordable by default
+    while ``select``/``get`` still reach them by name.
+    """
+    return [
+        spec
+        for group, specs in REGISTRY.items()
+        if include_on_demand or group not in ON_DEMAND_GROUPS
+        for spec in specs
+    ]
 
 
 def get(exp_id: str) -> ExperimentSpec:
     """Look one experiment up by its ``<group>/<variant>`` id."""
-    for spec in all_specs():
+    for spec in all_specs(include_on_demand=True):
         if spec.exp_id == exp_id:
             return spec
     raise KeyError(f"unknown experiment {exp_id!r}")
@@ -433,13 +487,14 @@ def select(tokens: Iterable[str]) -> list[ExperimentSpec]:
     registry, deduplicated.
     """
     matched: set[str] = set()
+    candidates = all_specs(include_on_demand=True)
     for token in tokens:
         token = token.strip()
         if not token:
             continue
         matches = [
             spec
-            for spec in all_specs()
+            for spec in candidates
             if spec.exp_id == token
             or spec.group == token
             or spec.group.startswith(token)
@@ -449,4 +504,4 @@ def select(tokens: Iterable[str]) -> list[ExperimentSpec]:
                 f"--only token {token!r} matches no experiment group or id"
             )
         matched.update(spec.exp_id for spec in matches)
-    return [spec for spec in all_specs() if spec.exp_id in matched]
+    return [spec for spec in candidates if spec.exp_id in matched]

@@ -14,6 +14,9 @@ Subcommands:
 * ``scenario [--name crash_burst | --spec file.json]`` — run a workload
   under declarative fault injection and dynamic network conditions, and
   compare against the steady-state run.
+* ``shard [--channels N] [--txs N]`` — run a streamed multi-channel
+  workload with bounded memory, print the stitched summary and its
+  digest; ``--check-digest``/``--max-rss-mb`` back the CI smoke step.
 * ``perf [--only ...] [--json BENCH_perf.json] [--compare old.json]`` —
   run the hot-path microbenchmarks (warmup + repeated trials, median/MAD)
   and optionally ratchet against a recorded baseline.
@@ -52,7 +55,9 @@ def _analyze_cached(args: argparse.Namespace) -> int:
     """Failure forensics for one registry experiment, served from cache.
 
     On a cache miss the experiment is executed (and cached) first, so the
-    command always produces a report; a warm cache renders instantly.
+    command always produces a report; ``--cache-only`` turns a miss into
+    a clean error instead.  A schema-mismatched entry (e.g. written by an
+    incompatible version) is reported as an error, never a traceback.
     """
     from repro.analysis import render_cause_summary, render_forensics
     from repro.bench.cache import ResultCache
@@ -71,22 +76,48 @@ def _analyze_cached(args: argparse.Namespace) -> int:
         spec = spec.with_overrides(total_transactions=args.txs)
 
     cache = ResultCache(args.cache_dir)
-    report = run_suite([spec], jobs=1, cache=cache)
-    outcome = report.outcomes[0]
-    source = "cache" if report.cached else "fresh run (now cached)"
-    print(f"{spec.exp_id} — {outcome.name} [{source}]")
+    if args.cache_only:
+        outcome = cache.get(spec)
+        if outcome is None:
+            print(
+                f"error: no cache entry for {spec.exp_id} under {cache.root}; "
+                f"run `repro suite --only {spec.exp_id}` first or drop "
+                "--cache-only",
+                file=sys.stderr,
+            )
+            return 1
+        source = "cache"
+    else:
+        report = run_suite([spec], jobs=1, cache=cache)
+        outcome = report.outcomes[0]
+        source = "cache" if report.cached else "fresh run (now cached)"
     if outcome.forensics is None:
         print(
-            "error: cached outcome predates forensics reports; re-run with "
-            "--clear-cache via `repro suite` or delete the cache entry",
+            f"error: cached outcome for {spec.exp_id} carries no forensics "
+            "reports (written by an incompatible version); clear it with "
+            "`repro suite --clear-cache`",
             file=sys.stderr,
         )
         return 1
-    print()
-    print(render_forensics(outcome.forensics[0]))
-    for row, row_forensics in zip(outcome.rows[1:], outcome.forensics[1:]):
+    # Render everything before printing: a schema-mismatched entry must
+    # produce one clean error line, not a half-printed report + traceback.
+    try:
+        rendered = [render_forensics(outcome.forensics[0])]
+        for row, row_forensics in zip(outcome.rows[1:], outcome.forensics[1:]):
+            rendered.append(
+                f"with {row.label}: {render_cause_summary(row_forensics)}"
+            )
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+        print(
+            f"error: cache entry for {spec.exp_id} is schema-mismatched "
+            f"({exc!r}); clear it with `repro suite --clear-cache`",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{spec.exp_id} — {outcome.name} [{source}]")
+    for block in rendered:
         print()
-        print(f"with {row.label}: {render_cause_summary(row_forensics)}")
+        print(block)
     return 0
 
 
@@ -295,6 +326,112 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _peak_rss_mb() -> float:
+    """This process's peak resident set size in MiB (via getrusage)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    return peak / 1024.0 if sys.platform.startswith("linux") else peak / (1024.0**2)
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.shard import plan_shards, run_sharded
+
+    expected_digest = None
+    if args.check_digest:
+        try:
+            golden = json.loads(Path(args.check_digest).read_text())
+            expected_digest = str(golden["digest"])
+            plan = plan_shards(
+                base=str(golden["base"]),
+                channels=int(golden["channels"]),
+                total_transactions=int(golden["total_transactions"]),
+                seed=int(golden["seed"]),
+                interval_seconds=float(golden.get("interval_seconds", 1.0)),
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"error: malformed digest golden {args.check_digest}: {exc!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        try:
+            plan = plan_shards(
+                base=args.base,
+                channels=args.channels,
+                total_transactions=args.txs,
+                seed=args.seed,
+                interval_seconds=args.interval,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    print(
+        f"sharded run: {plan.base}, {len(plan.channels)} channels, "
+        f"{plan.total_transactions} transactions, seed {plan.seed}"
+    )
+    stitched = run_sharded(plan, progress=None if args.quiet else print)
+    digest = stitched.digest()
+    print(
+        f"stitched: {stitched.committed} committed / {stitched.aborted} aborted "
+        f"in {stitched.blocks} blocks ({stitched.data_blocks} data)"
+    )
+    print(
+        f"  throughput {stitched.throughput:.1f} tps, "
+        f"avg latency {stitched.avg_latency:.2f}s, "
+        f"success {stitched.success_rate * 100.0:.1f}%"
+    )
+    print(f"digest: {digest}")
+
+    if args.json:
+        try:
+            Path(args.json).write_text(
+                json.dumps(
+                    {
+                        "plan": plan.to_dict(),
+                        "summary": stitched.to_dict(),
+                        "digest": digest,
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+
+    failed = False
+    if expected_digest is not None:
+        if digest == expected_digest:
+            print("digest check: OK")
+        else:
+            print(
+                f"digest check: MISMATCH (expected {expected_digest})",
+                file=sys.stderr,
+            )
+            failed = True
+    peak = _peak_rss_mb()
+    print(f"peak RSS: {peak:.1f} MiB")
+    if args.max_rss_mb is not None and peak > args.max_rss_mb:
+        print(
+            f"error: peak RSS {peak:.1f} MiB exceeds --max-rss-mb "
+            f"{args.max_rss_mb:.1f}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -443,6 +580,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --cached: cache directory (default $REPRO_CACHE_DIR or .repro_cache)",
     )
+    analyze.add_argument(
+        "--cache-only",
+        action="store_true",
+        help="with --cached: error out (exit 1) on a cache miss instead of "
+        "running the experiment",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     export = sub.add_parser("export", help="convert a log between CSV and JSON")
@@ -572,6 +715,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a built-in scenario as JSON (authoring starting point)",
     )
     scenario.set_defaults(func=_cmd_scenario)
+
+    shard = sub.add_parser(
+        "shard",
+        help="run a streamed multi-channel (sharded) workload at scale",
+        description=(
+            "Split a synthetic workload over N independent channels — each "
+            "with its own orderer and kernel timeline — and run every "
+            "channel in streaming mode: bounded accumulators instead of a "
+            "materialized ledger, so peak memory is independent of the "
+            "transaction count. Prints the stitched summary and its "
+            "SHA-256 digest (the large-scale golden fingerprint; see "
+            "docs/SCALING.md)."
+        ),
+    )
+    shard.add_argument(
+        "--base",
+        default="default",
+        help="synthetic base experiment (a Table 2 name; default 'default')",
+    )
+    shard.add_argument(
+        "--channels", type=int, default=4, help="number of channels (default 4)"
+    )
+    shard.add_argument(
+        "--txs",
+        type=int,
+        default=50_000,
+        help="total transactions across all channels (default 50000)",
+    )
+    shard.add_argument("--seed", type=int, default=7)
+    shard.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="rate-series interval width in seconds (default 1.0)",
+    )
+    shard.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the plan + stitched summary + digest as JSON",
+    )
+    shard.add_argument(
+        "--check-digest",
+        default=None,
+        metavar="FILE",
+        help="run the plan pinned in a digest golden file and exit 1 unless "
+        "the stitched digest matches (overrides --base/--channels/--txs/--seed)",
+    )
+    shard.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="exit 1 if the process's peak RSS exceeds this many MiB "
+        "(the flat-memory assertion CI runs)",
+    )
+    shard.add_argument(
+        "--quiet", action="store_true", help="suppress per-channel progress lines"
+    )
+    shard.set_defaults(func=_cmd_shard)
 
     perf = sub.add_parser(
         "perf",

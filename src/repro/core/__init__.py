@@ -12,7 +12,12 @@ from repro.core.apply import ApplyResult, apply_recommendations
 from repro.core.autotune import GridTuner, LabelledLog, calibrate_rate_threshold
 from repro.core.feedback import FeedbackLoop, FeedbackOutcome, approve_all, technical_only
 from repro.core.insights import LogInsights, derive_insights, render_insights
-from repro.core.metrics import ConflictPair, LogMetrics, compute_metrics
+from repro.core.metrics import (
+    ConflictPair,
+    LogMetrics,
+    MetricsAccumulator,
+    compute_metrics,
+)
 from repro.core.recommendations import Level, OptimizationKind, Recommendation
 from repro.core.recommender import AnalysisReport, BlockOptR
 from repro.core.report import render_report
@@ -37,6 +42,7 @@ __all__ = [
     "ConflictPair",
     "Level",
     "LogMetrics",
+    "MetricsAccumulator",
     "OptimizationKind",
     "Recommendation",
     "Thresholds",

@@ -19,7 +19,8 @@ later *extract the configuration from the ledger*, as the paper does.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.fabric.chaincode import Contract
 from repro.fabric.client import ClientPool
@@ -38,7 +39,29 @@ from repro.sim.kernel import Kernel
 from repro.sim.rng import SimRng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.logs.stream import RunStream
     from repro.scenario.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class StreamedRunStats:
+    """Headline accounting of one streamed run (no ledger to re-read)."""
+
+    issued: int
+    committed: int
+    aborted: int
+    blocks: int
+    data_blocks: int
+    retries_issued: int
+    retries_recovered: int
+    retries_exhausted: int
+    first_submit: float
+    last_commit: float
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock span from first submission to last commit."""
+        return max(0.0, self.last_commit - self.first_submit)
 
 
 class FabricNetwork:
@@ -55,9 +78,15 @@ class FabricNetwork:
         config: NetworkConfig,
         contracts: list[Contract],
         scenario: "ScenarioSpec | None" = None,
+        stream: "RunStream | None" = None,
     ) -> None:
         if not contracts:
             raise ValueError("a network needs at least one smart contract")
+        if stream is not None and scenario is not None:
+            raise ValueError(
+                "streaming runs do not support scenarios: workload transforms "
+                "need the full request list"
+            )
         self.config = config
         self.kernel = Kernel()
         self.rng = SimRng(config.seed)
@@ -69,7 +98,13 @@ class FabricNetwork:
                 f"policy references organizations missing from the network: {sorted(unknown)}"
             )
         self.state_db = StateDatabase()
-        self.ledger = Ledger()
+        self.stream = stream
+        if stream is not None:
+            from repro.logs.stream import StreamingLedger
+
+            self.ledger: Ledger = StreamingLedger(stream)  # type: ignore[assignment]
+        else:
+            self.ledger = Ledger()
         self.contracts = {contract.name: contract for contract in contracts}
         if len(self.contracts) != len(contracts):
             raise ValueError("duplicate contract names")
@@ -108,7 +143,9 @@ class FabricNetwork:
             early_abort=self._record_early_abort,
             conditions=self.conditions,
         )
+        #: Aborted transactions (batch mode only; streaming fans them out).
         self.aborted: list[Transaction] = []
+        self.aborted_count = 0
         self._tx_counter = 0
         self._retry = config.retry
         self._mitigation = config.mitigation
@@ -209,7 +246,7 @@ class FabricNetwork:
             tx.status = TxStatus.EARLY_ABORT
             tx.abort_stage = "endorsement"
             tx.commit_time = at
-            self.aborted.append(tx)
+            self._record_abort(tx)
             # No retry: the chaincode deterministically rejects these
             # arguments, so a resubmission would abort identically.
 
@@ -237,7 +274,7 @@ class FabricNetwork:
         tx.abort_stage = "stale_read"
         tx.conflict_key = key
         tx.commit_time = self.kernel.now
-        self.aborted.append(tx)
+        self._record_abort(tx)
         self._maybe_retry(tx)
         return True
 
@@ -245,8 +282,20 @@ class FabricNetwork:
         tx.status = TxStatus.EARLY_ABORT
         tx.abort_stage = "ordering"
         tx.commit_time = at
-        self.aborted.append(tx)
+        self._record_abort(tx)
         self._maybe_retry(tx)
+
+    def _record_abort(self, tx: Transaction) -> None:
+        """Account one never-committed transaction.
+
+        Batch mode retains it for post-processing; streaming mode fans it
+        out to the stream's transaction consumers and lets it go.
+        """
+        self.aborted_count += 1
+        if self.stream is not None:
+            self.stream.accept_abort(tx)
+        else:
+            self.aborted.append(tx)
 
     def _after_block(self, block: Block) -> None:
         """Post-commit hook: account retry outcomes, resubmit failures."""
@@ -293,6 +342,8 @@ class FabricNetwork:
 
     def run(self, requests: list[TxRequest]) -> RunResult:
         """Execute a workload to completion and summarize it."""
+        if self.stream is not None:
+            raise ValueError("use run_streamed() on a stream-mode network")
         if not requests:
             raise ValueError("empty workload")
         if self.scenario_engine is not None:
@@ -324,6 +375,68 @@ class FabricNetwork:
             last_commit=last_commit,
             cut_reasons=self.orderer.cut_reasons,
             utilization=self._utilization(last_commit),
+        )
+
+    def run_streamed(self, requests: Iterable[TxRequest]) -> StreamedRunStats:
+        """Execute a submit-time-ordered request *stream* to completion.
+
+        The counterpart of :meth:`run` for stream-mode networks: requests
+        are pulled from the iterator one at a time — each arrival event
+        schedules the next — so neither the request list nor the ledger
+        is ever materialized.  With the accumulators registered on the
+        :class:`~repro.logs.stream.RunStream`, a run's live state is the
+        in-flight transactions plus O(blocks) bookkeeping, independent of
+        how many transactions flow through.
+        """
+        if self.stream is None:
+            raise ValueError("run_streamed() needs a network built with a RunStream")
+        iterator: Iterator[TxRequest] = iter(requests)
+        first = next(iterator, None)
+        if first is None:
+            raise ValueError("empty workload")
+        issued = 0
+        first_submit = first.submit_time
+
+        def pump(request: TxRequest) -> None:
+            nonlocal issued
+            issued += 1
+            self._start_request(request)
+            upcoming = next(iterator, None)
+            if upcoming is not None:
+                if upcoming.submit_time < request.submit_time:
+                    raise ValueError(
+                        "request stream must be ordered by submit time: "
+                        f"{upcoming.submit_time} after {request.submit_time}"
+                    )
+                self.kernel.schedule(upcoming.submit_time, lambda: pump(upcoming))
+
+        self.kernel.schedule(first_submit, lambda: pump(first))
+        self.kernel.run()
+
+        ledger = self.ledger
+        accounted = ledger.committed_txs + self.aborted_count
+        total_issued = issued + self.retries_issued
+        if accounted != total_issued:
+            raise RuntimeError(
+                f"transaction accounting mismatch: {accounted} finished "
+                f"of {total_issued} issued ({self.retries_issued} retries)"
+            )
+        last_commit = (
+            ledger.last_commit_time
+            if ledger.last_commit_time is not None
+            else first_submit
+        )
+        return StreamedRunStats(
+            issued=issued,
+            committed=ledger.committed_txs,
+            aborted=self.aborted_count,
+            blocks=ledger.blocks_committed,
+            data_blocks=ledger.data_blocks,
+            retries_issued=self.retries_issued,
+            retries_recovered=self.retries_recovered,
+            retries_exhausted=self.retries_exhausted,
+            first_submit=first_submit,
+            last_commit=last_commit,
         )
 
     def _assign_commit_order(self) -> None:

@@ -7,8 +7,22 @@ paper releases for process-mining research); ``eventlog`` derives CaseIDs
 from a common element and yields the traces process mining consumes.
 """
 
-from repro.logs.blockchain_log import BlockchainLog, ChannelConfig, LogRecord
-from repro.logs.eventlog import CaseIdDerivation, Event, EventLog, derive_case_attribute
+from repro.logs.blockchain_log import (
+    BlockchainLog,
+    ChannelConfig,
+    LogRecord,
+    interval_index,
+    record_from_transaction,
+    validate_record,
+)
+from repro.logs.eventlog import (
+    CaseDerivationAccumulator,
+    CaseIdDerivation,
+    Event,
+    EventLog,
+    EventLogAccumulator,
+    derive_case_attribute,
+)
 from repro.logs.export import (
     log_from_csv,
     log_from_json,
@@ -19,13 +33,18 @@ from repro.logs.extract import extract_blockchain_log
 
 __all__ = [
     "BlockchainLog",
+    "CaseDerivationAccumulator",
     "CaseIdDerivation",
     "ChannelConfig",
     "Event",
     "EventLog",
+    "EventLogAccumulator",
     "LogRecord",
     "derive_case_attribute",
     "extract_blockchain_log",
+    "interval_index",
+    "record_from_transaction",
+    "validate_record",
     "log_from_csv",
     "log_from_json",
     "log_to_csv",

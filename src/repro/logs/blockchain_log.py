@@ -10,9 +10,12 @@ order — plus the block number needed for the block-size metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.fabric.transaction import TxStatus, TxType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.transaction import Transaction
 
 
 @dataclass(frozen=True)
@@ -116,14 +119,24 @@ class BlockchainLog:
         """Sanity-check invariants; raises ``ValueError`` on violation."""
         last_order = -1
         for record in self.records:
-            if record.commit_order <= last_order:
-                raise ValueError(
-                    f"commit order not strictly increasing at tx {record.tx_id}"
-                )
+            validate_record(record, last_order)
             last_order = record.commit_order
-            missing = set(record.writes) - set(record.write_keys)
-            if missing:
-                raise ValueError(f"write values without keys in tx {record.tx_id}: {missing}")
+
+
+def validate_record(record: LogRecord, last_order: int = -1) -> None:
+    """Check one record's invariants (shared by batch and streaming paths).
+
+    ``last_order`` is the previous record's commit order; pass the default
+    to skip the monotonicity check for an isolated record.
+    """
+    if record.commit_order <= last_order:
+        raise ValueError(f"commit order not strictly increasing at tx {record.tx_id}")
+    missing = set(record.writes) - set(record.write_keys)
+    if missing:
+        raise ValueError(f"write values without keys in tx {record.tx_id}: {missing}")
+    unread = set(record.read_versions) - set(record.read_keys)
+    if unread:
+        raise ValueError(f"read versions without keys in tx {record.tx_id}: {unread}")
 
 
 @dataclass
@@ -140,6 +153,60 @@ class LogSlice:
         return len(self.records)
 
 
+def record_from_transaction(tx: "Transaction", order: int, block_position: int) -> LogRecord:
+    """Build one blockchain-log record from a committed (or aborted) transaction.
+
+    Lives here rather than in :mod:`repro.logs.extract` so the streaming
+    ledger path can convert blocks as they commit without importing the
+    network layer.
+    """
+    read_versions = {key: (v.block, v.tx) for key, v in tx.rwset.reads.items()}
+    read_keys = set(tx.rwset.reads)
+    for query in tx.rwset.range_queries:
+        for key, version in query.results:
+            read_keys.add(key)
+            read_versions.setdefault(key, (version.block, version.tx))
+    return LogRecord(
+        commit_order=order,
+        tx_id=tx.tx_id,
+        client_timestamp=tx.client_timestamp,
+        activity=tx.activity,
+        args=tuple(tx.args),
+        endorsers=tuple(tx.endorsers),
+        invoker=tx.invoker_client,
+        invoker_org=tx.invoker_org,
+        read_keys=tuple(sorted(read_keys)),
+        write_keys=tuple(sorted(tx.rwset.write_keys)),
+        writes=dict(tx.rwset.writes),
+        read_versions=read_versions,
+        range_reads=tuple(
+            (query.start, query.end) for query in tx.rwset.range_queries
+        ),
+        status=tx.status,
+        tx_type=tx.tx_type,
+        block_number=tx.block_number if tx.block_number is not None else -1,
+        block_position=block_position,
+        commit_time=tx.commit_time if tx.commit_time is not None else -1.0,
+        contract=tx.contract,
+        attempt=tx.attempt,
+    )
+
+
+def interval_index(timestamp: float, start: float, ins: float) -> int:
+    """Index of the ``[start + k*ins, start + (k+1)*ins)`` window holding ``timestamp``.
+
+    The naive ``int((timestamp - start) / ins)`` mis-bins timestamps that
+    sit exactly on a window boundary when the division rounds across it,
+    so the estimate is nudged until the exact half-open comparisons hold.
+    """
+    index = int((timestamp - start) / ins)
+    while index > 0 and timestamp < start + index * ins:
+        index -= 1
+    while timestamp >= start + (index + 1) * ins:
+        index += 1
+    return index
+
+
 def slice_by_interval(log: BlockchainLog, interval_seconds: float | None = None) -> list[LogSlice]:
     """Partition the log into client-timestamp intervals of ``ins`` seconds."""
     ins = interval_seconds if interval_seconds is not None else log.interval_seconds
@@ -149,12 +216,12 @@ def slice_by_interval(log: BlockchainLog, interval_seconds: float | None = None)
         return []
     start = min(record.client_timestamp for record in log.records)
     end = max(record.client_timestamp for record in log.records)
-    count = max(1, int((end - start) / ins) + 1)
+    count = interval_index(end, start, ins) + 1
     slices = [
         LogSlice(index=i, start=start + i * ins, end=start + (i + 1) * ins)
         for i in range(count)
     ]
     for record in log.records:
-        index = min(int((record.client_timestamp - start) / ins), count - 1)
+        index = min(interval_index(record.client_timestamp, start, ins), count - 1)
         slices[index].records.append(record)
     return slices

@@ -99,56 +99,106 @@ def _values_for(record: LogRecord, attribute: str) -> list[str]:
     return values
 
 
+class CaseDerivationAccumulator:
+    """Streaming common-element analysis (record-consumer protocol).
+
+    Folds one record at a time into per-candidate coverage/value sets and
+    returns from :meth:`finish` the same :class:`CaseIdDerivation` the
+    batch :func:`derive_case_attribute` computes.  State is bounded by the
+    *distinct* activities, argument positions, key families and attribute
+    values — never by the transaction count.
+    """
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._max_args = 0
+        self._activities: set[str] = set()
+        self._arg_coverage: dict[int, set[str]] = {}
+        self._arg_values: dict[int, set[str]] = {}
+        self._family_coverage: dict[str, set[str]] = {}
+        self._family_values: dict[str, set[str]] = {}
+        #: Candidate -> number of records exhibiting a value (the bounded
+        #: event count the channel summaries report without materializing
+        #: the event list).
+        self._covered_records: dict[str, int] = {}
+
+    def consume(self, record: LogRecord) -> None:
+        """Fold one record's arguments and key families in."""
+        self._total += 1
+        activity = record.activity
+        self._activities.add(activity)
+        args = record.args
+        if len(args) > self._max_args:
+            self._max_args = len(args)
+        covered_records = self._covered_records
+        for index, arg in enumerate(args):
+            coverage = self._arg_coverage.get(index)
+            if coverage is None:
+                coverage = self._arg_coverage[index] = set()
+                self._arg_values[index] = set()
+            coverage.add(activity)
+            self._arg_values[index].add(str(arg))
+            candidate = f"arg:{index}"
+            covered_records[candidate] = covered_records.get(candidate, 0) + 1
+        seen_families: set[str] = set()
+        for key in record.rw_keys:
+            parsed = _key_family(key)
+            if parsed is None:
+                continue
+            family, value = parsed
+            coverage = self._family_coverage.get(family)
+            if coverage is None:
+                coverage = self._family_coverage[family] = set()
+                self._family_values[family] = set()
+            coverage.add(activity)
+            self._family_values[family].add(value)
+            seen_families.add(family)
+        for family in seen_families:
+            candidate = f"key:{family}"
+            covered_records[candidate] = covered_records.get(candidate, 0) + 1
+
+    def covered_records(self, attribute: str) -> int:
+        """Records that exhibit at least one value of ``attribute``."""
+        return self._covered_records.get(attribute, 0)
+
+    def finish(self) -> CaseIdDerivation:
+        """Score every candidate and pick the common element."""
+        if not self._total:
+            raise ValueError("cannot derive a case attribute from an empty log")
+        candidates = [f"arg:{i}" for i in range(self._max_args)]
+        candidates.extend(f"key:{family}" for family in sorted(self._family_coverage))
+        n_activities = len(self._activities)
+        scores: dict[str, tuple[float, int]] = {}
+        for attribute in candidates:
+            kind, _, name = attribute.partition(":")
+            if kind == "arg":
+                index = int(name)
+                covered = self._arg_coverage.get(index, set())
+                values = self._arg_values.get(index, set())
+            else:
+                covered = self._family_coverage[name]
+                values = self._family_values[name]
+            scores[attribute] = (len(covered) / n_activities, len(values))
+        best = max(scores.items(), key=lambda item: (item[1][0], item[1][1], item[0]))
+        attribute, (coverage, distinct) = best
+        return CaseIdDerivation(
+            attribute=attribute,
+            coverage=coverage,
+            distinct_values=distinct,
+            scores=scores,
+        )
+
+
 def derive_case_attribute(log: BlockchainLog) -> CaseIdDerivation:
     """Find the common element best suited as the CaseID.
 
-    Raises ``ValueError`` on an empty log — there is nothing to derive.
+    Thin batch wrapper over :class:`CaseDerivationAccumulator`.  Raises
+    ``ValueError`` on an empty log — there is nothing to derive.
     """
-    if not log.records:
-        raise ValueError("cannot derive a case attribute from an empty log")
-    activities = set(log.activities())
-    # One preparation pass parses and sorts each record's keys once; the
-    # scoring loop below then only does dict lookups per candidate, instead
-    # of re-sorting every record's key set for every candidate attribute.
-    prepared: list[tuple[str, tuple, dict[str, list[str]]]] = []
-    max_args = 0
+    accumulator = CaseDerivationAccumulator()
     for record in log.records:
-        if len(record.args) > max_args:
-            max_args = len(record.args)
-        by_family: dict[str, list[str]] = {}
-        for key in sorted(record.rw_keys):
-            parsed = _key_family(key)
-            if parsed is not None:
-                by_family.setdefault(parsed[0], []).append(parsed[1])
-        prepared.append((record.activity, record.args, by_family))
-    families = sorted({family for _, _, by_family in prepared for family in by_family})
-    candidates = [f"arg:{i}" for i in range(max_args)]
-    candidates.extend(f"key:{family}" for family in families)
-
-    scores: dict[str, tuple[float, int]] = {}
-    for attribute in candidates:
-        kind, _, name = attribute.partition(":")
-        covered: set[str] = set()
-        values: set[str] = set()
-        if kind == "arg":
-            index = int(name)
-            for activity, args, _ in prepared:
-                if index < len(args):
-                    covered.add(activity)
-                    values.add(str(args[index]))
-        else:
-            for activity, _, by_family in prepared:
-                family_values = by_family.get(name)
-                if family_values:
-                    covered.add(activity)
-                    values.update(family_values)
-        coverage = len(covered) / len(activities)
-        scores[attribute] = (coverage, len(values))
-    best = max(scores.items(), key=lambda item: (item[1][0], item[1][1], item[0]))
-    attribute, (coverage, distinct) = best
-    return CaseIdDerivation(
-        attribute=attribute, coverage=coverage, distinct_values=distinct, scores=scores
-    )
+        accumulator.consume(record)
+    return accumulator.finish()
 
 
 @dataclass
@@ -196,32 +246,58 @@ class EventLog:
     ) -> "EventLog":
         """Build the event log, deriving the CaseID attribute if not given.
 
-        Transactions with no value for the case attribute (e.g. a range
-        read in an argument-based derivation) are assigned to their first
-        matching value or skipped when none exists; ``include_failures``
-        keeps failed transactions (they are real process steps and the
-        evidence behind pruning recommendations).
+        Thin batch wrapper: derivation and event materialization each
+        stream the records through their accumulator.  Transactions with
+        no value for the case attribute (e.g. a range read in an
+        argument-based derivation) are assigned to their first matching
+        value or skipped when none exists; ``include_failures`` keeps
+        failed transactions (they are real process steps and the evidence
+        behind pruning recommendations).
         """
         derivation = (
             derive_case_attribute(log)
             if case_attribute is None
             else CaseIdDerivation(attribute=case_attribute, coverage=0.0, distinct_values=0)
         )
-        events: list[Event] = []
+        accumulator = EventLogAccumulator(
+            derivation.attribute, include_failures=include_failures
+        )
         for record in log.records:
-            if not include_failures and record.is_failure:
-                continue
-            values = _values_for(record, derivation.attribute)
-            if not values:
-                continue
-            events.append(
-                Event(
-                    case_id=values[0],
-                    activity=record.activity,
-                    commit_order=record.commit_order,
-                    timestamp=record.client_timestamp,
-                    invoker=record.invoker,
-                    status=record.status.value,
-                )
+            accumulator.consume(record)
+        return EventLog(events=accumulator.finish(), derivation=derivation)
+
+
+class EventLogAccumulator:
+    """Streaming event materialization for a known case attribute.
+
+    Record-consumer protocol; :meth:`finish` returns the event list.
+    Note the event list itself is O(transactions) — large-scale runs use
+    :class:`CaseDerivationAccumulator` (bounded) and skip materialization.
+    """
+
+    def __init__(self, attribute: str, include_failures: bool = True) -> None:
+        self.attribute = attribute
+        self.include_failures = include_failures
+        self._events: list[Event] = []
+
+    def consume(self, record: LogRecord) -> None:
+        """Append the record's event, if it has a case value."""
+        if not self.include_failures and record.is_failure:
+            return
+        values = _values_for(record, self.attribute)
+        if not values:
+            return
+        self._events.append(
+            Event(
+                case_id=values[0],
+                activity=record.activity,
+                commit_order=record.commit_order,
+                timestamp=record.client_timestamp,
+                invoker=record.invoker,
+                status=record.status.value,
             )
-        return EventLog(events=events, derivation=derivation)
+        )
+
+    def finish(self) -> list[Event]:
+        """The materialized events, in consumption order."""
+        return self._events

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from repro.fabric.ledger import Ledger
 from repro.fabric.network import FabricNetwork
-from repro.logs.blockchain_log import BlockchainLog, ChannelConfig, LogRecord
+from repro.logs.blockchain_log import (
+    BlockchainLog,
+    ChannelConfig,
+    LogRecord,
+    record_from_transaction,
+)
 
 
 def _config_from_ledger(ledger: Ledger) -> ChannelConfig:
@@ -70,44 +75,11 @@ def extract_blockchain_log(
         for position, tx in enumerate(block.transactions):
             if tx.is_config:
                 continue
-            records.append(_to_record(tx, order, position))
+            records.append(record_from_transaction(tx, order, position))
             order += 1
     for tx in early_aborts:
-        records.append(_to_record(tx, order, -1))
+        records.append(record_from_transaction(tx, order, -1))
         order += 1
     log = BlockchainLog(records=records, config=config, interval_seconds=interval_seconds)
     log.validate()
     return log
-
-
-def _to_record(tx, order: int, block_position: int) -> LogRecord:
-    read_versions = {key: (v.block, v.tx) for key, v in tx.rwset.reads.items()}
-    read_keys = set(tx.rwset.reads)
-    for query in tx.rwset.range_queries:
-        for key, version in query.results:
-            read_keys.add(key)
-            read_versions.setdefault(key, (version.block, version.tx))
-    return LogRecord(
-        commit_order=order,
-        tx_id=tx.tx_id,
-        client_timestamp=tx.client_timestamp,
-        activity=tx.activity,
-        args=tuple(tx.args),
-        endorsers=tuple(tx.endorsers),
-        invoker=tx.invoker_client,
-        invoker_org=tx.invoker_org,
-        read_keys=tuple(sorted(read_keys)),
-        write_keys=tuple(sorted(tx.rwset.write_keys)),
-        writes=dict(tx.rwset.writes),
-        read_versions=read_versions,
-        range_reads=tuple(
-            (query.start, query.end) for query in tx.rwset.range_queries
-        ),
-        status=tx.status,
-        tx_type=tx.tx_type,
-        block_number=tx.block_number if tx.block_number is not None else -1,
-        block_position=block_position,
-        commit_time=tx.commit_time if tx.commit_time is not None else -1.0,
-        contract=tx.contract,
-        attempt=tx.attempt,
-    )

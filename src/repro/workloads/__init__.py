@@ -14,7 +14,7 @@ from repro.workloads.schedule import (
     reorder_requests,
 )
 from repro.workloads.spec import ControlVariables, WorkloadType
-from repro.workloads.synthetic import synthetic_workload
+from repro.workloads.synthetic import iter_synthetic_requests, synthetic_workload
 from repro.workloads.usecases import (
     drm_workload,
     ehr_workload,
@@ -35,6 +35,7 @@ __all__ = [
     "phased_times",
     "reorder_requests",
     "scm_workload",
+    "iter_synthetic_requests",
     "synthetic_workload",
     "voting_workload",
 ]

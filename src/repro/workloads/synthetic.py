@@ -52,45 +52,66 @@ def _submit_times(spec: ControlVariables) -> list[float]:
     return constant_rate_times(spec.total_transactions, spec.send_rate)
 
 
-def _invoker_orgs(spec: ControlVariables, rng: SimRng) -> list[str | None]:
-    """Invoker pinning per transaction distribution skew.
+def _submit_time_stream(spec: ControlVariables):
+    """Submit times one at a time, identical to ``_submit_times``.
+
+    Phased/profiled schedules are inherently precomputed (their closed
+    forms need the whole phase table); the constant-rate default — the
+    only schedule that matters at million-transaction scale — is O(1).
+    """
+    if spec.send_rate_profile is not None or spec.send_rate_phases is not None:
+        yield from _submit_times(spec)
+        return
+    rate = spec.send_rate
+    for index in range(spec.total_transactions):
+        yield index / rate
+
+
+def _invoker_org_stream(spec: ControlVariables, rng: SimRng):
+    """Invoker pinning per transaction distribution skew, one at a time.
 
     With skew ``s``, a transaction goes to Org1 with probability ``s`` and
     round-robins otherwise; ``s == 0`` leaves everything on round-robin.
+    Draws come from the dedicated ``tx-dist-skew`` stream, so interleaving
+    them with the activity/key draws changes nothing.
     """
     if spec.tx_dist_skew == 0.0:
-        return [None] * spec.total_transactions
+        for _ in range(spec.total_transactions):
+            yield None
+        return
     stream = rng.stream("tx-dist-skew")
     others = [f"Org{i}" for i in range(2, spec.num_orgs + 1)]
-    out: list[str | None] = []
     for _ in range(spec.total_transactions):
         if stream.random() < spec.tx_dist_skew:
-            out.append("Org1")
+            yield "Org1"
         else:
-            out.append(others[int(stream.integers(0, len(others)))] if others else "Org1")
-    return out
+            yield others[int(stream.integers(0, len(others)))] if others else "Org1"
 
 
-def synthetic_workload(
-    spec: ControlVariables,
-) -> tuple[NetworkConfig, ContractDeployment, list[TxRequest]]:
-    """Generate one synthetic experiment's network, contracts and requests."""
+def _invoker_orgs(spec: ControlVariables, rng: SimRng) -> list[str | None]:
+    """Batch form of :func:`_invoker_org_stream` (kept for tests)."""
+    return list(_invoker_org_stream(spec, rng))
+
+
+def iter_synthetic_requests(spec: ControlVariables, contract_name: str):
+    """Yield the spec's requests one at a time, in submit order.
+
+    The streaming core of :func:`synthetic_workload`: identical draws on
+    identical named RNG streams, so ``list(iter_synthetic_requests(...))``
+    equals the batch request list bit for bit — but a constant-rate
+    workload needs O(1) memory regardless of ``total_transactions``,
+    which is what :meth:`FabricNetwork.run_streamed` pumps from.
+    """
     rng = SimRng(spec.seed)
-    family = genchain_family(num_keys=spec.num_keys)
-    deployment = family.deploy()
-    contract = deployment.contracts[0]
-    contract_name = contract.name
-
     mix = type_mix(spec.workload_type)
     activities = list(GENCHAIN_ACTIVITIES)
     weights = [mix[activity] for activity in activities]
 
-    times = _submit_times(spec)
-    invokers = _invoker_orgs(spec, rng)
+    times = _submit_time_stream(spec)
+    invokers = _invoker_org_stream(spec, rng)
     activity_sampler = WeightedSampler(rng.stream("activity-mix"), weights)
     exponent = zipf_exponent(spec.key_dist_skew)
     insert_counter = 0
-    requests: list[TxRequest] = []
     for index in range(spec.total_transactions):
         activity = activities[activity_sampler.draw()]
         if activity == "write":
@@ -109,14 +130,21 @@ def synthetic_workload(
         else:
             rank = rng.zipf_index(f"key-{activity}", spec.num_keys, exponent)
             args = (f"key{rank:06d}",)
-        requests.append(
-            TxRequest(
-                submit_time=times[index],
-                activity=activity,
-                args=args,
-                contract=contract_name,
-                invoker_org=invokers[index],
-            )
+        yield TxRequest(
+            submit_time=next(times),
+            activity=activity,
+            args=args,
+            contract=contract_name,
+            invoker_org=next(invokers),
         )
 
+
+def synthetic_workload(
+    spec: ControlVariables,
+) -> tuple[NetworkConfig, ContractDeployment, list[TxRequest]]:
+    """Generate one synthetic experiment's network, contracts and requests."""
+    family = genchain_family(num_keys=spec.num_keys)
+    deployment = family.deploy()
+    contract_name = deployment.contracts[0].name
+    requests = list(iter_synthetic_requests(spec, contract_name))
     return spec.to_network_config(), deployment, requests

@@ -317,6 +317,64 @@ class TestBenchWiring:
         assert code == 0
         assert "[cache]" in warm_out
 
+    def test_cli_analyze_cache_only_miss_is_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "analyze",
+                "--cached",
+                "scenario_faults/partial_outage",
+                "--txs",
+                "400",
+                "--cache-dir",
+                str(tmp_path),
+                "--cache-only",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no cache entry" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_cli_analyze_cached_schema_mismatch_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.bench.cache import ResultCache
+        from repro.bench.registry import get
+        from repro.cli import main
+
+        argv = [
+            "analyze",
+            "--cached",
+            "scenario_faults/partial_outage",
+            "--txs",
+            "400",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Corrupt the stored forensics payloads the way an incompatible
+        # writer would: entries present but missing every expected field.
+        spec = get("scenario_faults/partial_outage").with_overrides(
+            total_transactions=400
+        )
+        path = ResultCache(tmp_path).path(spec)
+        record = json.loads(path.read_text())
+        record["outcome"]["forensics"] = [
+            {"bogus": True} for _ in record["outcome"]["forensics"]
+        ]
+        path.write_text(json.dumps(record))
+
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "schema-mismatched" in captured.err
+        assert "Traceback" not in captured.err
+
     def test_cli_analyze_argument_validation(self, capsys):
         from repro.cli import main
 

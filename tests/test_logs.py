@@ -16,7 +16,7 @@ from repro.logs import (
     log_to_csv,
     log_to_json,
 )
-from repro.logs.blockchain_log import slice_by_interval
+from repro.logs.blockchain_log import interval_index, slice_by_interval
 
 
 def make_record(order, activity="act", args=(), keys=(), writes=None, status=TxStatus.SUCCESS, ts=None):
@@ -108,6 +108,61 @@ class TestSlicing:
 
     def test_empty_log(self):
         assert slice_by_interval(make_log([]), 1.0) == []
+
+
+class TestIntervalBoundaries:
+    """Regressions for the float-division binning bug in interval_index."""
+
+    def test_division_overshoot_pulled_back(self):
+        # (1.3 - 1.0) / 0.1 rounds to 3.0000000000000004, so naive int()
+        # binning places the record in a window that starts after it.
+        index = interval_index(1.3, 1.0, 0.1)
+        assert 1.0 + index * 0.1 <= 1.3 < 1.0 + (index + 1) * 0.1
+
+    def test_division_undershoot_pushed_forward(self):
+        # 2.1 / 0.7 rounds to 2.9999999999999996, leaving the record one
+        # window short of the boundary it sits on.
+        index = interval_index(2.1, 0.0, 0.7)
+        assert index * 0.7 <= 2.1 < (index + 1) * 0.7
+
+    def test_half_open_invariant_on_boundary_grid(self):
+        # Every k*ins timestamp must satisfy the half-open window
+        # comparisons exactly as slice_by_interval evaluates them.
+        for ins in (0.1, 0.3, 0.7, 1.0):
+            for k in range(200):
+                timestamp = k * ins
+                index = interval_index(timestamp, 0.0, ins)
+                assert index * ins <= timestamp < (index + 1) * ins
+
+    def test_slices_respect_their_own_boundaries(self):
+        records = [make_record(i, ts=1.0 + i * 0.1) for i in range(31)]
+        slices = slice_by_interval(make_log(records), 0.1)
+        assert sum(s.count for s in slices) == len(records)
+        for log_slice in slices[:-1]:
+            for record in log_slice.records:
+                assert log_slice.start <= record.client_timestamp < log_slice.end
+
+
+class TestValidation:
+    def test_validate_rejects_read_versions_without_keys(self):
+        record = make_record(0, keys=["a"])
+        record.read_versions["ghost"] = (1, 0)
+        with pytest.raises(ValueError, match="read versions without keys"):
+            make_log([record]).validate()
+
+    def test_validate_rejects_writes_without_keys(self):
+        record = make_record(0, writes={"k": 1})
+        record.writes["ghost"] = 2
+        with pytest.raises(ValueError, match="write values without keys"):
+            make_log([record]).validate()
+
+    def test_validate_accepts_partial_read_versions(self):
+        # A version map covering only some read keys is fine (range reads
+        # may surface keys without versions); the subset must hold the
+        # other way around.
+        record = make_record(0, keys=["a", "b"])
+        del record.read_versions["b"]
+        make_log([record]).validate()
 
 
 class TestExport:

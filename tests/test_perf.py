@@ -230,6 +230,22 @@ def test_compare_noise_floor_suppresses_jittery_regressions():
     assert delta.verdict == "unchanged"
 
 
+def test_compare_zero_mad_keeps_a_minimum_noise_floor():
+    """Identical trials give MAD 0; the relative floor must keep the
+    ratchet from treating any sub-percent wobble as signal."""
+    old = _single("a", [0.0100, 0.0100, 0.0100])  # MAD exactly 0
+    new = _single("a", [0.01015, 0.01015, 0.01015])  # +1.5% < 2% floor
+    (delta,) = compare_reports(old, new, threshold=0.01)
+    assert delta.verdict == "unchanged"
+
+
+def test_compare_zero_mad_still_flags_real_shifts():
+    old = _single("a", [0.0100, 0.0100, 0.0100])
+    new = _single("a", [0.0150, 0.0150, 0.0150])  # +50% clears floor and threshold
+    (delta,) = compare_reports(old, new, threshold=0.25)
+    assert delta.verdict == "regression"
+
+
 def test_compare_detects_digest_changes():
     from repro.bench.perf.compare import digest_changes
 

@@ -1,0 +1,136 @@
+"""Shard layer tests: deterministic planning, stitching, registry routing."""
+
+import pytest
+
+from repro.bench.registry import ON_DEMAND_GROUPS, all_specs, get
+from repro.shard import (
+    assign_clients,
+    derive_channel_seed,
+    plan_shards,
+    run_registry_spec,
+    run_sharded,
+    stitch,
+)
+
+
+class TestPlanning:
+    def test_plan_is_deterministic(self):
+        first = plan_shards("default", channels=4, total_transactions=10_001, seed=11)
+        second = plan_shards("default", channels=4, total_transactions=10_001, seed=11)
+        assert first == second
+        assert first.to_dict() == second.to_dict()
+
+    def test_transactions_partition_with_remainder_to_front(self):
+        plan = plan_shards("default", channels=4, total_transactions=10_002, seed=7)
+        budgets = [channel.transactions for channel in plan.channels]
+        assert sum(budgets) == 10_002
+        assert budgets == [2501, 2501, 2500, 2500]
+
+    def test_channel_seeds_are_distinct_and_name_derived(self):
+        plan = plan_shards("default", channels=6, total_transactions=6_000, seed=7)
+        seeds = [channel.seed for channel in plan.channels]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [
+            derive_channel_seed(7, f"channel{index}") for index in range(6)
+        ]
+
+    def test_different_plan_seeds_give_different_channel_seeds(self):
+        first = plan_shards("default", channels=2, total_transactions=100, seed=1)
+        second = plan_shards("default", channels=2, total_transactions=100, seed=2)
+        assert first.channels[0].seed != second.channels[0].seed
+
+    def test_every_channel_keeps_at_least_one_client_per_org(self):
+        # Enough channels that the hash is likely to leave gaps the
+        # minimum-membership rule must fill.
+        for split in assign_clients(["Org1", "Org2"], 1, 16):
+            for _org, count in split:
+                assert count >= 1
+
+    def test_client_assignment_is_deterministic(self):
+        assert assign_clients(["Org1", "Org2"], 2, 4) == assign_clients(
+            ["Org1", "Org2"], 2, 4
+        )
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError, match="cannot cover"):
+            plan_shards("default", channels=8, total_transactions=4)
+        with pytest.raises(ValueError, match="interval_seconds"):
+            plan_shards("default", channels=2, total_transactions=100, interval_seconds=0)
+        with pytest.raises(KeyError):
+            plan_shards("no_such_base", channels=2, total_transactions=100)
+
+
+class TestStitching:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        plan = plan_shards("default", channels=2, total_transactions=600, seed=7)
+        return plan, run_sharded(plan)
+
+    def test_totals_are_channel_sums(self, small_run):
+        _, stitched = small_run
+        for field in ("issued", "committed", "aborted", "submitted", "successes",
+                      "blocks", "data_blocks"):
+            assert getattr(stitched, field) == sum(
+                getattr(channel, field) for channel in stitched.channels
+            )
+        assert stitched.committed == 600
+
+    def test_digest_is_stable_across_runs(self, small_run):
+        plan, stitched = small_run
+        again = run_sharded(plan)
+        assert again.digest() == stitched.digest()
+        assert again.to_dict() == stitched.to_dict()
+
+    def test_stitch_rejects_mismatched_summaries(self, small_run):
+        plan, stitched = small_run
+        with pytest.raises(ValueError):
+            stitch(plan, list(stitched.channels[:1]))
+
+    def test_makespan_spans_channels_not_their_sum(self, small_run):
+        _, stitched = small_run
+        longest = max(channel.makespan for channel in stitched.channels)
+        assert longest <= stitched.makespan < sum(
+            channel.makespan for channel in stitched.channels
+        )
+
+
+class TestRegistryRouting:
+    def test_large_scale_is_on_demand_only(self):
+        default_ids = {spec.exp_id for spec in all_specs()}
+        all_ids = {spec.exp_id for spec in all_specs(include_on_demand=True)}
+        assert not any(exp_id.startswith("large_scale/") for exp_id in default_ids)
+        assert "large_scale/multichannel_1m" in all_ids
+        assert "large_scale" in ON_DEMAND_GROUPS
+
+    def test_sharded_spec_has_no_bundle(self):
+        spec = get("large_scale/multichannel_5k")
+        assert spec.maker == "sharded"
+        with pytest.raises(ValueError, match="sharded"):
+            spec.make_bundle()
+
+    def test_run_registry_spec_outcome_shape(self):
+        spec = get("large_scale/multichannel_5k").with_overrides(
+            total_transactions=600
+        )
+        outcome = run_registry_spec(spec)
+        assert outcome.name == spec.title
+        (row,) = outcome.rows
+        assert row.label == "sharded"
+        assert row.throughput > 0
+        assert 0.0 <= row.success_pct <= 100.0
+        assert outcome.recommendations == []
+
+    def test_suite_executes_and_caches_sharded_specs(self, tmp_path):
+        from repro.bench.cache import ResultCache
+        from repro.bench.executor import run_suite
+
+        spec = get("large_scale/multichannel_5k").with_overrides(
+            total_transactions=600
+        )
+        cache = ResultCache(tmp_path)
+        cold = run_suite([spec], jobs=1, cache=cache)
+        assert cold.executed == [spec.exp_id]
+        warm = run_suite([spec], jobs=1, cache=cache)
+        assert warm.simulated_runs == 0
+        assert warm.cached == [spec.exp_id]
+        assert warm.outcomes[0].rows == cold.outcomes[0].rows
