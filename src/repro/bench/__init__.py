@@ -8,7 +8,13 @@ experiment definitions and the paper's reported values for comparison.
 """
 
 from repro.bench.cache import ResultCache
-from repro.bench.executor import SuiteReport, derive_seed, run_spec, run_suite
+from repro.bench.executor import (
+    ExperimentExecutionError,
+    SuiteReport,
+    derive_seed,
+    run_spec,
+    run_suite,
+)
 from repro.bench.harness import (
     ExperimentOutcome,
     RunRow,
@@ -16,20 +22,36 @@ from repro.bench.harness import (
     execute_experiment,
     run_usecase_demo,
 )
-from repro.bench.registry import ExperimentSpec
+from repro.bench.matrix import (
+    MatrixError,
+    MatrixRun,
+    MatrixSpec,
+    expand,
+    load_matrix,
+    matrix_from_dict,
+)
+from repro.bench.registry import ExperimentSpec, UnknownSelectionError
 from repro.bench.tables import format_outcome, format_paper_comparison
 
 __all__ = [
+    "ExperimentExecutionError",
     "ExperimentOutcome",
     "ExperimentSpec",
+    "MatrixError",
+    "MatrixRun",
+    "MatrixSpec",
     "ResultCache",
     "RunRow",
     "SuiteReport",
+    "UnknownSelectionError",
     "default_recommendation",
     "derive_seed",
     "execute_experiment",
+    "expand",
     "format_outcome",
     "format_paper_comparison",
+    "load_matrix",
+    "matrix_from_dict",
     "run_spec",
     "run_suite",
     "run_usecase_demo",

@@ -120,17 +120,30 @@ class ResultCache:
         return self.root / f"{self.key(spec)}.json"
 
     def get(self, spec: "ExperimentSpec") -> ExperimentOutcome | None:
-        """The cached outcome, or ``None`` on miss or a corrupt entry."""
+        """The cached outcome, or ``None`` on miss or a corrupt entry.
+
+        A truncated, garbled or non-UTF-8 entry (interrupted write, disk
+        trouble, manual editing) is a cache *miss*, never a traceback:
+        the entry is deleted so the re-execution writes it fresh instead
+        of tripping over the same bytes on every warm run.
+        """
         path = self.path(spec)
         try:
-            data = json.loads(path.read_text())
+            data = json.loads(path.read_bytes())
             return outcome_from_dict(data["outcome"])
         except FileNotFoundError:
             return None
-        except (KeyError, TypeError, ValueError, OSError):
-            # A truncated/garbled entry behaves like a miss; the re-run
-            # overwrites it.
+        except (KeyError, TypeError, ValueError, AttributeError, OSError):
+            self._discard(path)
             return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Best-effort removal of a corrupt entry (failures stay a miss)."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - e.g. permission trouble
+            pass
 
     def put(self, spec: "ExperimentSpec", outcome: ExperimentOutcome) -> Path:
         path = self.path(spec)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -43,6 +44,38 @@ from repro.fabric.network import run_workload
 
 #: Optional progress sink: called with one human-readable line per event.
 Progress = Callable[[str], None]
+
+
+class ExperimentExecutionError(RuntimeError):
+    """A cell of a suite/matrix run crashed — with its identity attached.
+
+    In a large sweep the raw worker exception is useless on its own (a
+    pool future only says *something* failed); this wrapper names the
+    experiment, the stage (baseline / plan / whole run) and carries the
+    original traceback text, so the failing cell can be re-run with
+    ``--only <exp_id>`` immediately.
+    """
+
+    def __init__(self, exp_id: str, stage: str, original: BaseException) -> None:
+        self.exp_id = exp_id
+        self.stage = stage
+        self.original = original
+        detail = "".join(
+            traceback.format_exception(
+                type(original), original, original.__traceback__
+            )
+        ).rstrip()
+        super().__init__(
+            f"experiment {exp_id!r} failed during {stage}: {original!r}\n"
+            f"original traceback:\n{detail}"
+        )
+
+
+def _attribute(exp_id: str, stage: str, exc: BaseException) -> "ExperimentExecutionError":
+    """Wrap a worker/serial failure, never double-wrapping."""
+    if isinstance(exc, ExperimentExecutionError):
+        return exc
+    return ExperimentExecutionError(exp_id, stage, exc)
 
 
 def derive_seed(base_seed: int, name: str) -> int:
@@ -196,7 +229,10 @@ def run_suite(
 
     if to_run and report.jobs == 1:
         for spec in to_run:
-            outcome = run_spec(spec)
+            try:
+                outcome = run_spec(spec)
+            except Exception as exc:
+                raise _attribute(spec.exp_id, "serial run", exc) from exc
             outcomes[spec.exp_id] = outcome
             report.executed.append(spec.exp_id)
             report.simulated_runs += spec.run_count()
@@ -246,6 +282,11 @@ def _run_parallel(
             for future in done:
                 kind, exp_id, plan_index = futures.pop(future)
                 spec = by_id[exp_id]
+                if (error := future.exception()) is not None:
+                    stage = kind
+                    if kind == "plan":
+                        stage = f"plan {spec.plans[plan_index][0]!r}"
+                    raise _attribute(exp_id, stage, error) from error
                 if kind == "whole":
                     outcomes[exp_id] = future.result()
                     report.simulated_runs += spec.run_count()

@@ -134,6 +134,67 @@ def make_synthetic(
     return make
 
 
+#: ControlVariables knobs a ``tuned`` bundle (experiment matrices) may
+#: override.  Deliberately scalar-only: phased/profiled schedules stay
+#: the domain of named experiments and scenarios.
+TUNABLE_FIELDS = frozenset(
+    {
+        "workload_type",
+        "endorsement_policy",
+        "endorser_dist_skew",
+        "key_dist_skew",
+        "num_orgs",
+        "block_count",
+        "block_timeout",
+        "send_rate",
+        "tx_dist_skew",
+        "num_keys",
+        "clients_per_org",
+        "endorsers_per_org",
+        "scheduler",
+    }
+)
+
+
+def make_tuned(
+    base: str,
+    overrides: tuple,
+    seed: int = 7,
+    total_transactions: int | None = None,
+) -> MakeBundle:
+    """Bundle factory for a synthetic experiment with knob overrides.
+
+    ``overrides`` is a declarative ``((field, value), ...)`` tuple applied
+    on top of :func:`synthetic_spec`'s ``base`` — the factorial front-end
+    of :mod:`repro.bench.matrix` uses this to cross *numeric* factors
+    (block size × send rate × workload mix) that no single named
+    experiment exposes.  Fields are restricted to :data:`TUNABLE_FIELDS`
+    and the combined spec is re-validated after all overrides land, so an
+    impossible combination (e.g. a P1 policy with 2 orgs) fails at
+    expansion time, not mid-sweep.
+    """
+    for field_name, _ in overrides:
+        if field_name not in TUNABLE_FIELDS:
+            raise KeyError(
+                f"unknown tunable field {field_name!r}; "
+                f"valid: {', '.join(sorted(TUNABLE_FIELDS))}"
+            )
+
+    def make():
+        spec = synthetic_spec(base, seed=seed)
+        for field_name, value in overrides:
+            if field_name == "workload_type":
+                value = WorkloadType(value)
+            setattr(spec, field_name, value)
+        spec.__post_init__()  # re-validate the combined knob settings
+        if total_transactions is not None:
+            _rescale_transactions(spec, total_transactions)
+        config, _, requests = synthetic_workload(spec)
+        return config, genchain_family(num_keys=spec.num_keys), requests
+
+    return make
+
+
 def _rescale_transactions(spec: ControlVariables, total: int) -> None:
     """Set a new transaction budget, keeping phase proportions intact."""
     if spec.send_rate_phases:

@@ -64,6 +64,14 @@ class ExperimentSpec:
                 scheduler=self.scheduler,
                 total_transactions=self.total_transactions,
             )
+        if self.maker == "tuned":
+            base, overrides = self.maker_args
+            return defs.make_tuned(
+                base,
+                tuple((name, value) for name, value in overrides),
+                seed=self.seed,
+                total_transactions=self.total_transactions,
+            )
         if self.maker == "usecase":
             (usecase,) = self.maker_args
             return defs.make_usecase(
@@ -479,19 +487,41 @@ def get(exp_id: str) -> ExperimentSpec:
     raise KeyError(f"unknown experiment {exp_id!r}")
 
 
+class UnknownSelectionError(KeyError):
+    """``--only`` tokens that matched nothing — all of them, not just the first.
+
+    A thousand-cell sweep launched with a typoed id must fail loudly
+    *before* any simulation runs, and must name every bad token so the
+    user fixes the whole selection in one round trip.
+    """
+
+    def __init__(self, unmatched: list[str], hint: str) -> None:
+        self.unmatched = list(unmatched)
+        rendered = ", ".join(repr(token) for token in self.unmatched)
+        super().__init__(
+            f"--only matched nothing for {rendered}; {hint}"
+        )
+
+
 def select(tokens: Iterable[str]) -> list[ExperimentSpec]:
     """Resolve ``--only`` tokens: group names, prefixes, or full exp ids.
 
     ``fig09`` matches the ``fig09_block_size`` group; ``fig09_block_size/
     block_count_50`` matches a single experiment.  Order follows the
-    registry, deduplicated.
+    registry, deduplicated.  Tokens that match nothing — including a
+    selection that is entirely blank — raise
+    :class:`UnknownSelectionError` listing every unmatched token, so a
+    typo can never silently select zero experiments.
     """
     matched: set[str] = set()
+    unmatched: list[str] = []
     candidates = all_specs(include_on_demand=True)
-    for token in tokens:
-        token = token.strip()
-        if not token:
-            continue
+    cleaned = [token.strip() for token in tokens if token.strip()]
+    if not cleaned:
+        raise UnknownSelectionError(
+            [token for token in tokens], "the selection is empty"
+        )
+    for token in cleaned:
         matches = [
             spec
             for spec in candidates
@@ -500,8 +530,10 @@ def select(tokens: Iterable[str]) -> list[ExperimentSpec]:
             or spec.group.startswith(token)
         ]
         if not matches:
-            raise KeyError(
-                f"--only token {token!r} matches no experiment group or id"
-            )
+            unmatched.append(token)
         matched.update(spec.exp_id for spec in matches)
+    if unmatched:
+        raise UnknownSelectionError(
+            unmatched, f"known groups: {', '.join(REGISTRY)}"
+        )
     return [spec for spec in candidates if spec.exp_id in matched]

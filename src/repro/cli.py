@@ -11,6 +11,10 @@ Subcommands:
 * ``export <log.json> --out <log.csv>`` — convert between log formats.
 * ``suite [--jobs N] [--only fig09,fig10]`` — run the paper's experiment
   suite through the parallel executor with result caching.
+* ``matrix --spec sweep.yaml [--jobs N] [--only ...] [--dry-run]`` —
+  expand a declarative factor × seed matrix, run every cell through the
+  executor + cache, and export ``run_table.csv`` plus a Markdown table
+  with median + bootstrap-CI columns.
 * ``scenario [--name crash_burst | --spec file.json]`` — run a workload
   under declarative fault injection and dynamic network conditions, and
   compare against the steady-state run.
@@ -150,7 +154,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.bench.cache import ResultCache
     from repro.bench.executor import derive_seed, run_suite
-    from repro.bench.registry import all_specs, select
+    from repro.bench.registry import UnknownSelectionError, all_specs, select
     from repro.bench.tables import format_paper_comparison
 
     if args.txs is not None and args.txs < 1:
@@ -158,9 +162,11 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         return 2
     try:
         specs = select(args.only.split(",")) if args.only else all_specs()
-    except KeyError as exc:
+    except UnknownSelectionError as exc:
+        # Exit 1, naming every unmatched token: a typo must never launch
+        # a partial sweep or silently select zero experiments.
         print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return 1
     if args.list:
         for spec in specs:
             print(
@@ -197,6 +203,76 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     print(report.summary())
     if cache is not None:
         print(f"cache: {cache.root}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.bench.cache import ResultCache
+    from repro.bench.executor import run_suite
+    from repro.bench.matrix import (
+        MatrixError,
+        aggregate,
+        expand,
+        load_matrix,
+        select_runs,
+        summary_markdown,
+        write_outputs,
+    )
+    from repro.bench.registry import UnknownSelectionError
+
+    try:
+        matrix = load_matrix(args.spec)
+        runs = expand(matrix)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except MatrixError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.only:
+        try:
+            runs = select_runs(runs, args.only.split(","))
+        except UnknownSelectionError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+
+    header = (
+        f"matrix {matrix.name}: {matrix.cell_count()} cells × "
+        f"{len(matrix.seeds)} seeds = {matrix.run_count()} runs"
+        + (f" ({len(runs)} selected)" if len(runs) != matrix.run_count() else "")
+    )
+    if args.dry_run:
+        print(header)
+        for run in runs:
+            budget = run.spec.payload()["total_transactions"]
+            rendered = ", ".join(f"{name}={value}" for name, value in run.factors)
+            print(f"{run.exp_id:<58} {rendered} txs={budget}")
+        print(f"{len(runs)} runs")
+        return 0
+
+    if not args.quiet:
+        print(header)
+    if args.clear_cache:
+        store = ResultCache(args.cache_dir)
+        print(f"cleared {store.clear()} cache entries under {store.root}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_suite(
+        [run.spec for run in runs],
+        jobs=args.jobs,
+        cache=cache,
+        progress=None if args.quiet else print,
+    )
+    outcomes = {
+        run.exp_id: outcome for run, outcome in zip(runs, report.outcomes)
+    }
+    table_path, summary_path = write_outputs(args.out, matrix, runs, outcomes)
+    if not args.quiet:
+        print()
+        print(summary_markdown(matrix, aggregate(runs, outcomes)))
+    print(report.summary())
+    if cache is not None:
+        print(f"cache: {cache.root}")
+    print(f"wrote {table_path} and {summary_path}")
     return 0
 
 
@@ -654,6 +730,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="only print the summary line"
     )
     suite.set_defaults(func=_cmd_suite)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="run a declarative experiment matrix (factors × seeds)",
+        description=(
+            "Expand a YAML/JSON matrix spec — the cross-product of "
+            "declared factors (block size, send rate, workload mix, "
+            "scenario, mitigation, ...) crossed with a seed list — into "
+            "concrete registry experiments, run every cell through the "
+            "parallel executor and the result cache (per-cell keys, so "
+            "an interrupted sweep resumes where it stopped), and "
+            "aggregate the seed replications into median + bootstrap-CI "
+            "columns. Writes run_table.csv (one row per cell x seed) "
+            "and summary.md (aggregated Markdown table). See "
+            "docs/MATRICES.md and examples/matrices/."
+        ),
+    )
+    matrix.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="matrix spec file (.yaml/.yml/.json; see docs/MATRICES.md)",
+    )
+    matrix.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1 = serial)"
+    )
+    matrix.add_argument(
+        "--only",
+        default=None,
+        metavar="TOKENS",
+        help="comma-separated cell/run ids or prefixes "
+        "(e.g. sweep/300_150 or sweep/300_150@s7); unmatched tokens "
+        "fail the command before anything runs",
+    )
+    matrix.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded cell list (ids, factors, budgets) and exit",
+    )
+    matrix.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for run_table.csv and summary.md (default .)",
+    )
+    matrix.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    matrix.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    matrix.add_argument(
+        "--clear-cache", action="store_true", help="drop cached results first"
+    )
+    matrix.add_argument(
+        "--quiet", action="store_true", help="only print the summary/output lines"
+    )
+    matrix.set_defaults(func=_cmd_matrix)
 
     scenario = sub.add_parser(
         "scenario",

@@ -318,7 +318,14 @@ class StitchedSummary:
 
     @property
     def avg_latency(self) -> float:
-        """Exact cross-channel mean latency (merged from channel sums)."""
+        """Exact cross-channel mean latency (merged from channel sums).
+
+        The merge divides by the summed *latency count*, never by the
+        committed-transaction total, and degrades to 0.0 when no channel
+        committed anything — an all-aborts run under a harsh fault
+        scenario must stitch to defined values, not raise
+        ``ZeroDivisionError`` (``tests/test_shard.py`` pins this).
+        """
         count = sum(channel.latency_count for channel in self.channels)
         if not count:
             return 0.0

@@ -161,5 +161,17 @@ class TestCli:
         assert "0 simulation runs" in capsys.readouterr().out
 
     def test_suite_unknown_only_token(self, capsys):
-        assert main(["suite", "--only", "fig99", "--no-cache"]) == 2
+        # Exit 1 (selection error), distinct from exit 2 (bad arguments):
+        # a typo must fail loudly before any simulation runs.
+        assert main(["suite", "--only", "fig99", "--no-cache"]) == 1
         assert "fig99" in capsys.readouterr().err
+
+    def test_suite_only_lists_every_unmatched_token(self, capsys):
+        assert main(["suite", "--only", "fig99,fig09,also_bogus", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "fig99" in err and "also_bogus" in err
+        assert "known groups" in err
+
+    def test_suite_only_blank_selection_rejected(self, capsys):
+        assert main(["suite", "--only", " , ", "--no-cache"]) == 1
+        assert "empty" in capsys.readouterr().err

@@ -67,3 +67,81 @@ def test_seed_override_changes_results_deterministically():
     assert reseeded.seed != spec.seed
     a, b = run_spec(reseeded), run_spec(reseeded)
     assert a.rows == b.rows  # same derived seed -> same exact numbers
+
+
+class TestCacheRobustness:
+    """Corrupt cache entries are a miss — deleted and re-executed."""
+
+    SPEC = get("table3/num_orgs_4").with_overrides(total_transactions=200)
+
+    @pytest.fixture()
+    def warm_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = run_suite([self.SPEC], jobs=1, cache=cache)
+        assert report.executed == [self.SPEC.exp_id]
+        return cache
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"",  # interrupted before any byte landed
+            b'{"exp_id": "table3/num_orgs_4", "outcome"',  # truncated mid-write
+            b"\xff\xfe\x00 not even utf-8 \x9c",  # binary junk
+            b'{"spec": {}}',  # valid JSON, missing the outcome
+            b'{"outcome": 42}',  # outcome of the wrong shape
+        ],
+        ids=["empty", "truncated", "binary", "missing-key", "wrong-shape"],
+    )
+    def test_garbage_entry_is_deleted_and_rerun(self, warm_cache, garbage):
+        path = warm_cache.path(self.SPEC)
+        path.write_bytes(garbage)
+        assert warm_cache.get(self.SPEC) is None
+        assert not path.exists()  # the bad bytes never trip a second run
+        rerun = run_suite([self.SPEC], jobs=1, cache=warm_cache)
+        assert rerun.executed == [self.SPEC.exp_id]
+        assert rerun.simulated_runs == self.SPEC.run_count()
+        # The fresh entry is healthy again.
+        assert warm_cache.get(self.SPEC) is not None
+
+    def test_intact_entry_is_untouched(self, warm_cache):
+        path = warm_cache.path(self.SPEC)
+        before = path.read_bytes()
+        warm = run_suite([self.SPEC], jobs=1, cache=warm_cache)
+        assert warm.cached == [self.SPEC.exp_id]
+        assert path.read_bytes() == before
+
+
+class TestFailureAttribution:
+    """A crashing cell must surface its exp_id plus the original traceback."""
+
+    @staticmethod
+    def poison_spec():
+        from dataclasses import replace
+
+        return replace(
+            get("table3/num_orgs_4").with_overrides(total_transactions=200),
+            exp_id="poison/bad_maker",
+            maker="no_such_maker",
+        )
+
+    def test_serial_failure_names_the_experiment(self):
+        from repro.bench.executor import ExperimentExecutionError
+
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            run_suite([self.poison_spec()], jobs=1, cache=None)
+        error = excinfo.value
+        assert error.exp_id == "poison/bad_maker"
+        assert "poison/bad_maker" in str(error)
+        assert "original traceback" in str(error)
+        assert "no_such_maker" in str(error)
+        assert isinstance(error.original, KeyError)
+
+    def test_parallel_failure_names_the_experiment(self):
+        from repro.bench.executor import ExperimentExecutionError
+
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            run_suite([self.poison_spec()], jobs=2, cache=None)
+        error = excinfo.value
+        assert error.exp_id == "poison/bad_maker"
+        assert error.stage == "baseline"
+        assert "no_such_maker" in str(error)

@@ -93,6 +93,55 @@ class TestStitching:
             channel.makespan for channel in stitched.channels
         )
 
+    def test_all_aborts_stitches_to_defined_values(self):
+        # A channel (or a whole run) with zero commits — a harsh fault
+        # scenario aborting everything — must stitch cleanly: defined
+        # latency/throughput/success (0.0), a digestable summary, no
+        # ZeroDivisionError out of the latency or success-rate merges.
+        from repro.shard.summary import ChannelSummary
+
+        plan = plan_shards("default", channels=2, total_transactions=10, seed=7)
+        all_aborts = [
+            ChannelSummary(
+                name=channel.name,
+                seed=channel.seed,
+                planned_transactions=channel.transactions,
+                issued=channel.transactions,
+                committed=0,
+                aborted=channel.transactions,
+                blocks=0,
+                data_blocks=0,
+                max_block_transactions=0,
+                cut_reasons={},
+                submitted=0,
+                successes=0,
+                failures=channel.transactions,
+                cause_counts={"policy_endorsement_timeout": channel.transactions},
+                hot_keys=[],
+                key_families=[],
+                org_policy_failures={},
+                max_attempt=1,
+                latency_sum=0.0,
+                latency_count=0,
+                latency_max=0.0,
+                first_submit=0.0,
+                last_commit=0.0,
+                rate_series=[],
+            )
+            for channel in plan.channels
+        ]
+        stitched = stitch(plan, all_aborts)
+        assert stitched.avg_latency == 0.0
+        assert stitched.success_rate == 0.0
+        assert stitched.throughput == 0.0
+        for channel in stitched.channels:
+            assert channel.avg_latency == 0.0
+            assert channel.success_rate == 0.0
+        totals = stitched.to_dict()["totals"]
+        assert totals["committed"] == 0
+        assert totals["avg_latency"] == 0.0
+        assert len(stitched.digest()) == 64
+
 
 class TestRegistryRouting:
     def test_large_scale_is_on_demand_only(self):
