@@ -40,6 +40,7 @@ DEFAULT_SCOPE = [
     SRC / "sim" / "kernel.py",
     SRC / "bench" / "executor.py",
     SRC / "scenario" / "engine.py",
+    SRC / "scenario" / "fuzz.py",
     SRC / "bench" / "perf" / "__init__.py",
     SRC / "bench" / "perf" / "benchmarks.py",
     SRC / "bench" / "perf" / "runner.py",

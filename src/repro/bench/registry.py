@@ -256,6 +256,35 @@ def _scenario_group() -> tuple[ExperimentSpec, ...]:
     )
 
 
+def _fuzzed_group() -> tuple[ExperimentSpec, ...]:
+    """Fuzzer-promoted scenarios (``repro fuzz``, see docs/SCENARIOS.md).
+
+    The most severe oracle-clean compositions a seeded fuzz campaign
+    found, promoted into :mod:`repro.scenario.library` with their run
+    digests pinned in ``tests/golden/fuzzed__library_digests.json``.
+    They stress the workload-realism primitives the hand-written
+    scenarios don't reach: rate curves, hot-key drift and region lag.
+    """
+    rate_control = _plan("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))
+    table: tuple[tuple[str, tuple], ...] = (
+        ("flash_crowd_outage", (rate_control,)),
+        ("org_blackout_storm", ()),
+        ("rolling_contention", (rate_control,)),
+    )
+    return tuple(
+        ExperimentSpec(
+            exp_id=f"fuzzed/{scenario}",
+            group="fuzzed",
+            variant=scenario,
+            title=f"Fuzzed / {scenario} on default",
+            maker="scenario",
+            maker_args=("default", scenario),
+            plans=plans,
+        )
+        for scenario, plans in table
+    )
+
+
 def _forensics_group() -> tuple[ExperimentSpec, ...]:
     """The mitigation × scenario sweep behind ``failure_forensics``.
 
@@ -401,6 +430,10 @@ def _build_registry() -> dict[str, tuple[ExperimentSpec, ...]]:
         # No paper rows exist — the runs answer "do the recommendations
         # still help under faults and dynamic network conditions?".
         "scenario_faults": _scenario_group(),
+        # Beyond the paper: fuzzer-promoted worst-case compositions
+        # (repro.scenario.fuzz) — severe scenarios a seeded campaign
+        # discovered, exercising rate curves, hot-key drift, region lag.
+        "fuzzed": _fuzzed_group(),
         # Beyond the paper: the mitigation × scenario forensics sweep
         # (repro.analysis) — "which mitigation recovers which abort cause?".
         "failure_forensics": _forensics_group(),

@@ -402,6 +402,112 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.scenario.fuzz import (
+        ORACLES,
+        FuzzConfig,
+        replay_corpus,
+        run_campaign,
+        save_corpus,
+    )
+
+    if args.replay:
+        if not args.corpus:
+            print("error: --replay requires --corpus DIR", file=sys.stderr)
+            return 2
+        try:
+            results = replay_corpus(args.corpus)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot replay corpus {args.corpus}: {exc}", file=sys.stderr)
+            return 2
+        dirty = 0
+        for result in results:
+            if result.clean:
+                print(f"{result.name:<28} clean")
+                continue
+            dirty += 1
+            print(f"{result.name:<28} FAILED")
+            for line in result.violations + result.drift:
+                print(f"    {line}")
+        print(f"\nreplayed {len(results)} corpus entries, {dirty} failed")
+        return 1 if dirty else 0
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            budget=args.budget,
+            base=args.base,
+            transactions=args.txs,
+            retry_attempts=args.retry,
+            max_interventions=args.max_interventions,
+            oracles=tuple(args.oracle) if args.oracle else ORACLES,
+            shrink=not args.no_shrink,
+        )
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        campaign = run_campaign(config)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    print(
+        f"fuzz campaign: seed {config.seed}, {config.budget} compositions, "
+        f"base synthetic/{config.base} ({config.transactions} txs), "
+        f"oracles: {', '.join(config.oracles)}"
+    )
+    print(f"\n{'composition':<16}{'ivs':>4}{'severity':>10}  outcome")
+    for entry in campaign.entries:
+        if entry.survived:
+            outcome = f"survived — {entry.label.dominant_cause or 'no failures'}"
+        else:
+            broken = sorted(name for name, found in entry.oracles.items() if found)
+            outcome = f"VIOLATED {', '.join(broken)}"
+        print(
+            f"{entry.spec.name:<16}{len(entry.spec.interventions):>4}"
+            f"{entry.label.severity:>10.4f}  {outcome}"
+        )
+
+    failures = campaign.failures()
+    if failures:
+        print(f"\n{len(failures)} oracle violation(s):")
+        for entry in failures:
+            print(f"  {entry.spec.name}:")
+            for line in entry.violations:
+                print(f"    {line}")
+            if entry.shrunk_from is not None:
+                print(
+                    f"    shrunk from {len(entry.shrunk_from.interventions)} to "
+                    f"{len(entry.spec.interventions)} intervention(s); minimal "
+                    "reproducer:"
+                )
+                for iv in entry.spec.interventions:
+                    print(f"      - {iv.describe()}")
+
+    survivors = campaign.survivors()
+    print(f"\ntop survivors by severity ({len(survivors)} total):")
+    for entry in survivors[: max(args.promote, 5)]:
+        print(
+            f"  {entry.spec.name:<16} severity {entry.label.severity:.4f} "
+            f"(aborts {entry.label.abort_rate:.1%}, "
+            f"retries {entry.label.retry_rate:.1%}) — {entry.label.why}"
+        )
+
+    if args.promote:
+        print(f"\npromotion candidates (top {args.promote}, paste into library.py):")
+        for entry in campaign.top_specs(args.promote):
+            print(entry.spec.to_json())
+
+    if args.corpus:
+        manifest = save_corpus(campaign, Path(args.corpus))
+        print(f"\ncorpus written to {manifest.parent} ({len(campaign.entries)} entries)")
+
+    return 1 if failures else 0
+
+
 def _peak_rss_mb() -> float:
     """This process's peak resident set size in MiB (via getrusage)."""
     import resource
@@ -851,6 +957,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a built-in scenario as JSON (authoring starting point)",
     )
     scenario.set_defaults(func=_cmd_scenario)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz random scenario compositions against differential oracles",
+        description=(
+            "Generate seeded random scenario compositions (faults, rate "
+            "curves, hot-key drift, region lag, mix shifts), check each "
+            "against differential oracles (determinism, stream≡batch "
+            "equivalence, tx conservation, JSON round-trip), shrink any "
+            "failure to a minimal reproducer, and rank oracle-clean "
+            "survivors by abort/retry severity. The same seed and budget "
+            "reproduce the campaign bit for bit. Exits 1 when an oracle "
+            "violation survives shrinking (a real engine bug)."
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=11)
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=20,
+        help="number of random compositions to generate (default 20)",
+    )
+    fuzz.add_argument(
+        "--base",
+        default="default",
+        help="synthetic base experiment for every composition (default default)",
+    )
+    fuzz.add_argument(
+        "--txs",
+        type=int,
+        default=400,
+        help="transactions per fuzzed run (default 400)",
+    )
+    fuzz.add_argument(
+        "--retry",
+        type=int,
+        default=2,
+        help="client attempts per transaction; >1 makes retry storms "
+        "observable (default 2)",
+    )
+    fuzz.add_argument(
+        "--max-interventions",
+        type=int,
+        default=4,
+        help="max interventions per composition (default 4)",
+    )
+    fuzz.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to one oracle (repeatable; default all: "
+        "determinism, stream_batch, conservation, roundtrip)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep failing compositions as generated instead of shrinking "
+        "them to minimal reproducers",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="persist the campaign as a replayable corpus under DIR",
+    )
+    fuzz.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay a corpus saved with --corpus: re-run its oracles and "
+        "fail on any violation or digest drift (CI fuzz-smoke)",
+    )
+    fuzz.add_argument(
+        "--promote",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N most severe oracle-clean compositions as JSON "
+        "(promotion candidates for the scenario library)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     shard = sub.add_parser(
         "shard",

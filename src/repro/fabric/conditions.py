@@ -14,11 +14,20 @@ from repro.fabric.config import TimingConfig
 
 
 class NetworkConditions:
-    """Mutable wide-area conditions shared by all components of one network."""
+    """Mutable wide-area conditions shared by all components of one network.
+
+    Two multiplicative layers compose: a network-wide multiplier (latency
+    spikes) and per-organization multipliers (``region_lag`` — one region
+    sits behind a congested WAN link while the rest of the network is
+    nominal).  A message attributed to an org experiences the product of
+    both; messages without an org attribution (block delivery) see only
+    the global layer.
+    """
 
     def __init__(self, timing: TimingConfig) -> None:
         self._timing = timing
         self._delay_multiplier = 1.0
+        self._org_multipliers: dict[str, float] = {}
 
     @property
     def delay_multiplier(self) -> float:
@@ -31,6 +40,27 @@ class NetworkConditions:
             raise ValueError(f"delay multiplier must be positive, got {factor!r}")
         self._delay_multiplier = factor
 
-    def network_delay(self) -> float:
-        """One-way delay a message sent *right now* experiences."""
-        return self._timing.network_delay * self._delay_multiplier
+    def set_org_delay_multiplier(self, org: str, factor: float) -> None:
+        """Inflate (or restore, at 1.0) one organization's one-way delays."""
+        if factor <= 0:
+            raise ValueError(f"delay multiplier must be positive, got {factor!r}")
+        if factor == 1.0:
+            self._org_multipliers.pop(org, None)
+        else:
+            self._org_multipliers[org] = factor
+
+    def org_delay_multiplier(self, org: str) -> float:
+        """The org's current region multiplier (1.0 = nominal)."""
+        return self._org_multipliers.get(org, 1.0)
+
+    def network_delay(self, org: str | None = None) -> float:
+        """One-way delay a message sent *right now* experiences.
+
+        ``org`` attributes the message to an organization so regional
+        asymmetry applies; ``None`` (the default) is org-agnostic traffic
+        such as block delivery, which only the global multiplier affects.
+        """
+        delay = self._timing.network_delay * self._delay_multiplier
+        if org is not None and self._org_multipliers:
+            delay *= self._org_multipliers.get(org, 1.0)
+        return delay

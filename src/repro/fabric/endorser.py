@@ -146,7 +146,8 @@ class EndorserPool:
             # envelope with no endorsements at all, doomed to a policy failure.
             tx.endorsers = ()
             self._kernel.schedule_in(
-                self._conditions.network_delay(), lambda: on_done(self._kernel.now)
+                self._conditions.network_delay(tx.invoker_org),
+                lambda: on_done(self._kernel.now),
             )
             return
 
@@ -177,7 +178,7 @@ class EndorserPool:
             pending -= 1
             if pending > 0:
                 return
-            done_at = finish_time + self._conditions.network_delay()
+            done_at = finish_time + self._conditions.network_delay(tx.invoker_org)
             if aborted:
                 self._kernel.schedule(done_at, lambda: on_abort(self._kernel.now, aborted[0]))
             else:

@@ -82,10 +82,15 @@ class FabricNetwork:
     ) -> None:
         if not contracts:
             raise ValueError("a network needs at least one smart contract")
-        if stream is not None and scenario is not None:
+        if (
+            stream is not None
+            and scenario is not None
+            and scenario.workload_interventions()
+        ):
             raise ValueError(
-                "streaming runs do not support scenarios: workload transforms "
-                "need the full request list"
+                "streaming runs do not support workload-transform interventions: "
+                "they need the full request list (apply the transforms to the "
+                "request iterable up front and pass a network-only scenario)"
             )
         self.config = config
         self.kernel = Kernel()
@@ -222,7 +227,8 @@ class FabricNetwork:
         def proposal_done(finish: float) -> None:
             del finish
             self.kernel.schedule_in(
-                self.conditions.network_delay(), lambda: self._endorse(tx, client)
+                self.conditions.network_delay(tx.invoker_org),
+                lambda: self._endorse(tx, client),
             )
 
         self.clients.propose(client, proposal_done)
@@ -236,7 +242,8 @@ class FabricNetwork:
                 if self._mitigation == "early_abort" and self._abort_if_stale(tx):
                     return
                 self.kernel.schedule_in(
-                    self.conditions.network_delay(), lambda: self.orderer.submit(tx)
+                    self.conditions.network_delay(tx.invoker_org),
+                    lambda: self.orderer.submit(tx),
                 )
 
             self.clients.package(client, len(tx.endorsers), packaged)
@@ -397,6 +404,11 @@ class FabricNetwork:
         issued = 0
         first_submit = first.submit_time
 
+        # Arrivals ride the dedicated arrival lane so same-instant ties
+        # against dynamic pipeline events resolve exactly as in a batch
+        # run, where every arrival is pre-scheduled (see ARRIVAL_PRIORITY).
+        from repro.sim.kernel import ARRIVAL_PRIORITY
+
         def pump(request: TxRequest) -> None:
             nonlocal issued
             issued += 1
@@ -408,9 +420,13 @@ class FabricNetwork:
                         "request stream must be ordered by submit time: "
                         f"{upcoming.submit_time} after {request.submit_time}"
                     )
-                self.kernel.schedule(upcoming.submit_time, lambda: pump(upcoming))
+                self.kernel.schedule(
+                    upcoming.submit_time,
+                    lambda: pump(upcoming),
+                    priority=ARRIVAL_PRIORITY,
+                )
 
-        self.kernel.schedule(first_submit, lambda: pump(first))
+        self.kernel.schedule(first_submit, lambda: pump(first), priority=ARRIVAL_PRIORITY)
         self.kernel.run()
 
         ledger = self.ledger

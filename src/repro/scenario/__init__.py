@@ -12,7 +12,11 @@ against:
   interventions (crash/recover, slowdowns, latency, orderer degradation)
   plus deterministic workload transforms (bursts, conflict storms);
 * :mod:`repro.scenario.library` — named, ready-made scenarios used by
-  the bench registry and ``python -m repro scenario``.
+  the bench registry and ``python -m repro scenario``;
+* :mod:`repro.scenario.fuzz` — the seeded scenario fuzzer: random
+  compositions checked by differential oracles, shrunk to minimal
+  reproducers, ranked by severity and promoted into the library
+  (``python -m repro fuzz``).
 
 Every scenario run stays bit-for-bit deterministic for a fixed seed: the
 transforms are pure functions of the request list and interventions fire
@@ -20,14 +24,17 @@ on the kernel's dedicated priority lane.
 """
 
 from repro.scenario.engine import ScenarioEngine, run_digest, run_scenario
+from repro.scenario.fuzz import FuzzConfig, run_campaign
 from repro.scenario.library import get_scenario, scenario_names
 from repro.scenario.spec import Intervention, ScenarioSpec
 
 __all__ = [
+    "FuzzConfig",
     "Intervention",
     "ScenarioEngine",
     "ScenarioSpec",
     "get_scenario",
+    "run_campaign",
     "run_digest",
     "run_scenario",
     "scenario_names",

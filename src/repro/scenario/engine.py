@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.fabric.transaction import TxRequest
 from repro.scenario.spec import Intervention, ScenarioSpec
-from repro.workloads.schedule import compress_window
+from repro.workloads.schedule import compress_window, piecewise_rate_times
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fabric.network import FabricNetwork, RunResult
@@ -108,6 +108,24 @@ class ScenarioEngine:
                 lambda: set_orderer(1.0, "orderer_degradation_end"),
             )
 
+        if iv.kind == "region_lag":
+            conditions = network.conditions
+            org = iv.target
+            if org not in network.config.org_names():
+                raise KeyError(
+                    f"region_lag target {org!r} is not an organization; "
+                    f"known: {sorted(network.config.org_names())}"
+                )
+
+            def set_region(factor: float, kind: str) -> None:
+                conditions.set_org_delay_multiplier(org, factor)
+                log(kind, f"{org} x{factor:g}")
+
+            return (
+                lambda: set_region(iv.factor, iv.kind),
+                lambda: set_region(1.0, "region_lag_end"),
+            )
+
         raise ValueError(f"{iv.kind!r} is not a network intervention")
 
     # -- workload transforms ---------------------------------------------------------
@@ -132,42 +150,72 @@ class ScenarioEngine:
                 self.timeline.append(
                     (iv.at, iv.kind, f"{hit} {iv.activity!r} txs onto {iv.hot_keys} keys")
                 )
+            elif iv.kind == "rate_curve":
+                out, moved = _rate_curve(out, iv)
+                self.timeline.append(
+                    (iv.at, iv.kind, f"{moved} txs onto a {len(iv.profile or ())}-point curve")
+                )
+            elif iv.kind == "hot_key_drift":
+                out, hit = _hot_key_drift(out, iv)
+                self.timeline.append(
+                    (
+                        iv.at,
+                        iv.kind,
+                        f"{hit} {iv.activity!r} txs over {iv.phases} drifting phases",
+                    )
+                )
+            elif iv.kind == "mix_shift":
+                out, shifted = _mix_shift(out, iv)
+                self.timeline.append(
+                    (
+                        iv.at,
+                        iv.kind,
+                        f"{shifted} {iv.from_activity!r} txs -> {iv.to_activity!r}",
+                    )
+                )
         return out
 
 
-def _conflict_storm(
-    requests: list[TxRequest], iv: Intervention
+def _candidate_keys(requests: list[TxRequest], activity: str) -> list[str]:
+    """Sorted distinct first-argument keys of the activity's requests."""
+    return sorted(
+        {
+            str(request.args[0])
+            for request in requests
+            if request.activity == activity and request.args
+        }
+    )
+
+
+def _retarget_window(
+    requests: list[TxRequest],
+    start: float,
+    end: float,
+    activity: str,
+    fraction: float,
+    hot: list[str],
 ) -> tuple[list[TxRequest], int]:
-    """Retarget a share of the window's ``iv.activity`` requests onto a
-    small hot-key set (key-first argument convention).
+    """Retarget ``fraction`` of the window's ``activity`` requests onto the
+    ``hot`` key list (key-first argument convention).
 
     Selection spreads evenly over the window (request ``j`` is picked when
     ``floor((j+1)·fraction)`` increments) and hot keys are assigned
     round-robin — deterministic without touching any RNG stream.
     """
-    end = iv.at + iv.duration
-    hot = sorted(
-        {
-            str(request.args[0])
-            for request in requests
-            if request.activity == iv.activity and request.args
-        }
-    )[: iv.hot_keys]
     if not hot:
         return list(requests), 0
-
     out: list[TxRequest] = []
     in_window = 0
     retargeted = 0
     for request in requests:
         if (
-            request.activity == iv.activity
+            request.activity == activity
             and request.args
-            and iv.at <= request.submit_time < end
+            and start <= request.submit_time < end
         ):
             j = in_window
             in_window += 1
-            if math.floor((j + 1) * iv.fraction) > math.floor(j * iv.fraction):
+            if math.floor((j + 1) * fraction) > math.floor(j * fraction):
                 out.append(
                     TxRequest(
                         submit_time=request.submit_time,
@@ -181,6 +229,118 @@ def _conflict_storm(
                 continue
         out.append(request)
     return out, retargeted
+
+
+def _conflict_storm(
+    requests: list[TxRequest], iv: Intervention
+) -> tuple[list[TxRequest], int]:
+    """A static contention storm: one hot-key set for the whole window."""
+    hot = _candidate_keys(requests, iv.activity)[: iv.hot_keys]
+    return _retarget_window(
+        requests, iv.at, iv.at + iv.duration, iv.activity, iv.fraction, hot
+    )
+
+
+def _hot_key_drift(
+    requests: list[TxRequest], iv: Intervention
+) -> tuple[list[TxRequest], int]:
+    """A drifting contention storm: the hot-key set rotates each phase.
+
+    The window splits into ``iv.phases`` equal sub-windows; phase ``p``
+    retargets onto the ``iv.hot_keys``-sized slice of the (sorted)
+    candidate key list starting at ``p * hot_keys``, wrapping around — so
+    contention moves across the key space the way a trending-item front
+    page moves, instead of hammering one fixed set.
+    """
+    candidates = _candidate_keys(requests, iv.activity)
+    if not candidates:
+        return list(requests), 0
+    span = iv.duration / iv.phases
+    out = list(requests)
+    total = 0
+    for phase in range(iv.phases):
+        start = iv.at + phase * span
+        end = iv.at + iv.duration if phase == iv.phases - 1 else start + span
+        offset = (phase * iv.hot_keys) % len(candidates)
+        hot = [
+            candidates[(offset + index) % len(candidates)]
+            for index in range(min(iv.hot_keys, len(candidates)))
+        ]
+        out, hit = _retarget_window(out, start, end, iv.activity, iv.fraction, hot)
+        total += hit
+    return out, total
+
+
+def _mix_shift(
+    requests: list[TxRequest], iv: Intervention
+) -> tuple[list[TxRequest], int]:
+    """Rewrite a share of the window's ``from_activity`` requests to
+    ``to_activity``, keeping only the key argument (the target activities
+    are all invocable with the key alone), with the same even-spread
+    selection as :func:`_retarget_window`.
+    """
+    end = iv.at + iv.duration
+    out: list[TxRequest] = []
+    in_window = 0
+    shifted = 0
+    for request in requests:
+        if (
+            request.activity == iv.from_activity
+            and request.args
+            and iv.at <= request.submit_time < end
+        ):
+            j = in_window
+            in_window += 1
+            if math.floor((j + 1) * iv.fraction) > math.floor(j * iv.fraction):
+                out.append(
+                    TxRequest(
+                        submit_time=request.submit_time,
+                        activity=iv.to_activity,
+                        args=(request.args[0],),
+                        contract=request.contract,
+                        invoker_org=request.invoker_org,
+                    )
+                )
+                shifted += 1
+                continue
+        out.append(request)
+    return out, shifted
+
+
+def _rate_curve(
+    requests: list[TxRequest], iv: Intervention
+) -> tuple[list[TxRequest], int]:
+    """Re-time every request from ``iv.at`` onward onto the breakpoint
+    profile — the k-th earliest affected request gets the k-th time of
+    :func:`~repro.workloads.schedule.piecewise_rate_times`, so relative
+    order is preserved while the arrival rate follows the curve.
+    """
+    affected = [
+        index for index, request in enumerate(requests) if request.submit_time >= iv.at
+    ]
+    if not affected or not iv.profile:
+        return list(requests), 0
+    ranked = sorted(affected, key=lambda index: (requests[index].submit_time, index))
+    profile = list(iv.profile)
+    segments = [
+        (profile[position + 1][0] - offset, rate)
+        for position, (offset, rate) in enumerate(profile[:-1])
+    ]
+    # The last breakpoint's rate extends indefinitely; piecewise_rate_times
+    # only needs a positive placeholder duration for its final segment.
+    segments.append((1.0, profile[-1][1]))
+    times = piecewise_rate_times(len(ranked), segments, start=iv.at)
+    out = list(requests)
+    for new_time, index in zip(times, ranked):
+        request = requests[index]
+        out[index] = TxRequest(
+            submit_time=new_time,
+            activity=request.activity,
+            args=request.args,
+            contract=request.contract,
+            invoker_org=request.invoker_org,
+        )
+    return out, len(ranked)
 
 
 def run_digest(network: "FabricNetwork") -> str:

@@ -134,6 +134,99 @@ def _partial_outage() -> ScenarioSpec:
     )
 
 
+def _flash_crowd_outage() -> ScenarioSpec:
+    """Fuzzer-promoted (seed 11, composition 22; severity 0.87)."""
+    return ScenarioSpec(
+        name="flash_crowd_outage",
+        description=(
+            "Fuzzer-discovered worst case: a 900-TPS flash crowd lands "
+            "exactly as Org2's peer crashes, Org1's region lags 3x, and a "
+            "drifting single-key write storm rides the wave — "
+            "policy_crashed_peer dominates (crashed peers cannot endorse, "
+            "the policy goes unsatisfied) with ~46% aborts and a retry "
+            "storm on top."
+        ),
+        interventions=(
+            Intervention(
+                kind="rate_curve", at=0.3, profile=((0.0, 900.0), (0.25, 150.0))
+            ),
+            Intervention(kind="peer_crash", at=0.45, duration=1.0, target="Org2-peer0"),
+            Intervention(
+                kind="region_lag", at=0.8, duration=1.0, target="Org1", factor=3.0
+            ),
+            Intervention(
+                kind="hot_key_drift",
+                at=0.3,
+                duration=0.8,
+                fraction=0.25,
+                hot_keys=1,
+                activity="write",
+                phases=4,
+            ),
+        ),
+    )
+
+
+def _org_blackout_storm() -> ScenarioSpec:
+    """Fuzzer-promoted (seed 11, composition 5; severity 0.82)."""
+    return ScenarioSpec(
+        name="org_blackout_storm",
+        description=(
+            "Fuzzer-discovered: all of Org2's endorsing peers black out "
+            "for 0.8 s, then a read-targeted conflict storm hits 2 hot "
+            "keys during the recovery — policy_crashed_peer dominates "
+            "(crashed peers cannot endorse) with ~45% aborts; the storm "
+            "converts the tail into MVCC/phantom conflicts."
+        ),
+        interventions=(
+            Intervention(kind="peer_crash", at=0.3, duration=0.8, target="Org2"),
+            Intervention(
+                kind="conflict_storm",
+                at=0.8,
+                duration=0.8,
+                fraction=0.75,
+                hot_keys=2,
+                activity="read",
+            ),
+        ),
+    )
+
+
+def _rolling_contention() -> ScenarioSpec:
+    """Fuzzer-promoted (seed 11, composition 19; severity 0.62)."""
+    return ScenarioSpec(
+        name="rolling_contention",
+        description=(
+            "Fuzzer-discovered rolling incident: an update storm on 8 hot "
+            "keys, a 6x orderer degradation, an Org1 crash window, then a "
+            "drifting write storm — failures roll through every cause "
+            "(policy_crashed_peer dominates, MVCC and phantom conflicts "
+            "follow) at ~35% aborts."
+        ),
+        interventions=(
+            Intervention(
+                kind="conflict_storm",
+                at=0.1,
+                duration=0.4,
+                fraction=0.5,
+                hot_keys=8,
+                activity="update",
+            ),
+            Intervention(kind="orderer_degradation", at=0.2, duration=0.6, factor=6.0),
+            Intervention(kind="peer_crash", at=0.3, duration=0.4, target="Org1"),
+            Intervention(
+                kind="hot_key_drift",
+                at=0.8,
+                duration=1.0,
+                fraction=0.25,
+                hot_keys=4,
+                activity="write",
+                phases=3,
+            ),
+        ),
+    )
+
+
 _BUILDERS = {
     "crash_burst": _crash_burst,
     "crash_recover": _crash_recover,
@@ -142,6 +235,12 @@ _BUILDERS = {
     "conflict_storm": _conflict_storm,
     "chaos": _chaos,
     "partial_outage": _partial_outage,
+    # Promoted from `repro fuzz --seed 11 --budget 24` (see docs/SCENARIOS.md):
+    # the most severe oracle-clean compositions, digests pinned in
+    # tests/golden/fuzzed__library_digests.json.
+    "flash_crowd_outage": _flash_crowd_outage,
+    "org_blackout_storm": _org_blackout_storm,
+    "rolling_contention": _rolling_contention,
 }
 
 

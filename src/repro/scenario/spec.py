@@ -24,6 +24,11 @@ Intervention kinds
 ``orderer_degradation``
     The ordering service serves blocks ``factor`` times slower in the
     window (a struggling Raft leader).
+``region_lag``
+    Multi-region latency asymmetry: clients of the target *organization*
+    see their one-way network delays multiplied by ``factor`` in the
+    window (a region behind a congested WAN link), while other orgs are
+    unaffected.
 ``burst_arrivals``
     Workload transform: requests submitted inside ``[at, at+duration)``
     arrive ``factor`` times faster, compressed toward ``at``.
@@ -31,14 +36,31 @@ Intervention kinds
     Workload transform: ``fraction`` of the window's ``activity``
     requests are retargeted onto ``hot_keys`` hot keys, manufacturing
     MVCC-conflict contention.
+``rate_curve``
+    Workload transform: requests from ``at`` onward are re-timed onto a
+    piecewise rate ``profile`` — ``(offset_seconds, rate_tps)``
+    breakpoints relative to ``at``, the last rate extending indefinitely
+    — expressing diurnal curves and flash crowds on any base workload.
+``hot_key_drift``
+    Workload transform: the window is split into ``phases`` equal
+    sub-windows and each retargets ``fraction`` of its ``activity``
+    requests onto a *rotated* ``hot_keys``-sized slice of the key
+    space, so the contended set drifts over time instead of sitting
+    still.
+``mix_shift``
+    Workload transform: ``fraction`` of the window's ``from_activity``
+    requests are rewritten to ``to_activity`` (key-only arguments), a
+    mid-run contract-mix shift such as reads turning into updates.
 
 Targets: ``None`` (all endorsing peers), an organization name (``Org1``)
-or a full peer name (``Org1-peer0``).
+or a full peer name (``Org1-peer0``).  ``region_lag`` requires an
+organization target.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 
 #: Kinds applied as kernel-scheduled interventions on the live network.
@@ -49,21 +71,55 @@ NETWORK_KINDS = frozenset(
         "endorser_slowdown",
         "latency_spike",
         "orderer_degradation",
+        "region_lag",
     }
 )
 
 #: Kinds applied as deterministic request-list transforms before the run.
-WORKLOAD_KINDS = frozenset({"burst_arrivals", "conflict_storm"})
+WORKLOAD_KINDS = frozenset(
+    {"burst_arrivals", "conflict_storm", "rate_curve", "hot_key_drift", "mix_shift"}
+)
 
 KINDS = NETWORK_KINDS | WORKLOAD_KINDS
 
 #: Kinds whose effect is multiplicative and restorable.
 _FACTOR_KINDS = frozenset(
-    {"endorser_slowdown", "latency_spike", "orderer_degradation", "burst_arrivals"}
+    {
+        "endorser_slowdown",
+        "latency_spike",
+        "orderer_degradation",
+        "burst_arrivals",
+        "region_lag",
+    }
 )
 
 #: Kinds that require a window.
-_WINDOWED_KINDS = frozenset({"burst_arrivals", "conflict_storm"})
+_WINDOWED_KINDS = frozenset(
+    {"burst_arrivals", "conflict_storm", "hot_key_drift", "mix_shift"}
+)
+
+#: Kinds that retarget a share of an activity's requests onto hot keys.
+_STORM_KINDS = frozenset({"conflict_storm", "hot_key_drift"})
+
+#: Hard ceiling on any multiplier — factors beyond this are authoring
+#: mistakes (a fat-fingered exponent), not scenarios worth simulating.
+MAX_FACTOR = 1000.0
+
+#: Hard ceiling on a rate_curve segment rate (transactions per second).
+MAX_RATE = 1_000_000.0
+
+#: Activities a ``mix_shift`` may rewrite *from* (key-first arguments).
+MIX_FROM_ACTIVITIES = frozenset({"read", "write", "update", "delete"})
+
+#: Activities a ``mix_shift`` may rewrite *to*: invocable with the key
+#: alone (``write`` needs an explicit value, so it is not a valid target).
+MIX_TO_ACTIVITIES = frozenset({"read", "update", "delete"})
+
+
+def _finite(value: float, label: str) -> None:
+    """Reject NaN/inf early — they otherwise fail deep inside the kernel."""
+    if not math.isfinite(value):
+        raise ValueError(f"{label} must be finite, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -86,33 +142,110 @@ class Intervention:
     hot_keys: int = 4
     #: Activity a conflict storm retargets (key-first args assumed).
     activity: str = "update"
+    #: ``rate_curve`` breakpoints: ``(offset_seconds, rate_tps)`` pairs
+    #: relative to ``at``; the first offset must be 0.0 and offsets must
+    #: strictly increase.  ``None`` for every other kind.
+    profile: tuple[tuple[float, float], ...] | None = None
+    #: Number of equal sub-windows a ``hot_key_drift`` rotates through.
+    phases: int = 2
+    #: Activity a ``mix_shift`` rewrites from.
+    from_activity: str = "read"
+    #: Activity a ``mix_shift`` rewrites to (key-only invocation).
+    to_activity: str = "update"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(
                 f"unknown intervention kind {self.kind!r}; known: {sorted(KINDS)}"
             )
+        _finite(self.at, "intervention time")
         if self.at < 0:
             raise ValueError(f"intervention time must be >= 0, got {self.at}")
-        if self.duration is not None and self.duration <= 0:
-            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.duration is not None:
+            _finite(self.duration, "duration")
+            if self.duration <= 0:
+                raise ValueError(f"duration must be positive, got {self.duration}")
         if self.kind in _WINDOWED_KINDS and self.duration is None:
             raise ValueError(f"{self.kind} requires a duration")
-        if self.kind in _FACTOR_KINDS and self.factor <= 0:
-            raise ValueError(f"{self.kind} factor must be positive, got {self.factor}")
+        if self.kind in _FACTOR_KINDS:
+            _finite(self.factor, f"{self.kind} factor")
+            if self.factor <= 0:
+                raise ValueError(
+                    f"{self.kind} factor must be positive, got {self.factor}"
+                )
+            if self.factor > MAX_FACTOR:
+                raise ValueError(
+                    f"{self.kind} factor must be <= {MAX_FACTOR:g}, got {self.factor}"
+                )
         if self.kind == "burst_arrivals" and self.factor <= 1.0:
             raise ValueError(
                 f"burst_arrivals factor must exceed 1, got {self.factor}"
             )
-        if self.kind == "conflict_storm":
+        if self.kind == "region_lag" and self.target is None:
+            raise ValueError("region_lag requires an organization target")
+        if self.kind in _STORM_KINDS or self.kind == "mix_shift":
+            _finite(self.fraction, f"{self.kind} fraction")
             if not 0.0 < self.fraction <= 1.0:
                 raise ValueError(
-                    f"conflict_storm fraction must be in (0, 1], got {self.fraction}"
+                    f"{self.kind} fraction must be in (0, 1], got {self.fraction}"
                 )
-            if self.hot_keys < 1:
+        if self.kind in _STORM_KINDS and self.hot_keys < 1:
+            raise ValueError(f"{self.kind} needs >= 1 hot key, got {self.hot_keys}")
+        if self.kind == "hot_key_drift" and self.phases < 2:
+            raise ValueError(
+                f"hot_key_drift needs >= 2 phases to drift, got {self.phases}"
+            )
+        if self.kind == "mix_shift":
+            if self.from_activity not in MIX_FROM_ACTIVITIES:
                 raise ValueError(
-                    f"conflict_storm needs >= 1 hot key, got {self.hot_keys}"
+                    f"mix_shift from_activity must be one of "
+                    f"{sorted(MIX_FROM_ACTIVITIES)}, got {self.from_activity!r}"
                 )
+            if self.to_activity not in MIX_TO_ACTIVITIES:
+                raise ValueError(
+                    f"mix_shift to_activity must be one of "
+                    f"{sorted(MIX_TO_ACTIVITIES)}, got {self.to_activity!r}"
+                )
+            if self.from_activity == self.to_activity:
+                raise ValueError(
+                    f"mix_shift must change the activity, got "
+                    f"{self.from_activity!r} -> {self.to_activity!r}"
+                )
+        if self.kind == "rate_curve":
+            self._validate_profile()
+        elif self.profile is not None:
+            raise ValueError(f"{self.kind} does not take a rate profile")
+
+    def _validate_profile(self) -> None:
+        """Normalize and hard-validate a ``rate_curve`` breakpoint profile."""
+        if not self.profile:
+            raise ValueError("rate_curve requires a non-empty profile")
+        # Normalize JSON-decoded lists into tuples, keeping the dataclass
+        # hashable and the field usable as a cache-identity component.
+        profile = tuple(
+            (float(offset), float(rate)) for offset, rate in self.profile
+        )
+        object.__setattr__(self, "profile", profile)
+        previous = None
+        for position, (offset, rate) in enumerate(profile):
+            _finite(offset, f"profile offset #{position}")
+            _finite(rate, f"profile rate #{position}")
+            if position == 0 and offset != 0.0:
+                raise ValueError(
+                    f"rate_curve profile must start at offset 0.0, got {offset}"
+                )
+            if previous is not None and offset <= previous:
+                raise ValueError(
+                    "rate_curve profile offsets must strictly increase, got "
+                    f"{offset} after {previous}"
+                )
+            if rate <= 0:
+                raise ValueError(f"profile rate must be positive, got {rate}")
+            if rate > MAX_RATE:
+                raise ValueError(
+                    f"profile rate must be <= {MAX_RATE:g}, got {rate}"
+                )
+            previous = offset
 
     @property
     def end(self) -> float | None:
@@ -129,10 +262,18 @@ class Intervention:
             data["target"] = self.target
         if self.kind in _FACTOR_KINDS:
             data["factor"] = self.factor
-        if self.kind == "conflict_storm":
+        if self.kind in _STORM_KINDS:
             data["fraction"] = self.fraction
             data["hot_keys"] = self.hot_keys
             data["activity"] = self.activity
+        if self.kind == "hot_key_drift":
+            data["phases"] = self.phases
+        if self.kind == "mix_shift":
+            data["fraction"] = self.fraction
+            data["from_activity"] = self.from_activity
+            data["to_activity"] = self.to_activity
+        if self.kind == "rate_curve":
+            data["profile"] = [list(point) for point in self.profile or ()]
         return data
 
     def describe(self) -> str:
@@ -148,6 +289,20 @@ class Intervention:
             parts.append(
                 f"{self.fraction:.0%} of {self.activity!r} onto {self.hot_keys} keys"
             )
+        if self.kind == "hot_key_drift":
+            parts.append(
+                f"{self.fraction:.0%} of {self.activity!r} onto {self.hot_keys} "
+                f"drifting keys over {self.phases} phases"
+            )
+        if self.kind == "mix_shift":
+            parts.append(
+                f"{self.fraction:.0%} {self.from_activity!r} -> {self.to_activity!r}"
+            )
+        if self.kind == "rate_curve":
+            curve = ", ".join(
+                f"+{offset:g}s@{rate:g}tps" for offset, rate in self.profile or ()
+            )
+            parts.append(f"[{curve}]")
         return " ".join(parts)
 
 

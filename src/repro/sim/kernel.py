@@ -31,7 +31,18 @@ from typing import Callable
 
 #: Priority lane for scenario interventions: strictly before the default
 #: lane (0) at equal timestamps.
-INTERVENTION_PRIORITY = -1
+INTERVENTION_PRIORITY = -2
+
+#: Priority lane for pump-chained workload arrivals in streamed runs.
+#: Batch runs pre-schedule every arrival before the kernel starts, so at
+#: equal timestamps an arrival always carries a smaller sequence number
+#: than any dynamically scheduled pipeline event and wins the tie.  A
+#: streamed run schedules each arrival lazily (mid-run, with a *large*
+#: sequence number), so without this lane the same tie resolves the other
+#: way and the two modes diverge — a seam the scenario fuzzer's
+#: stream≡batch oracle caught.  Arrivals on this lane still yield to
+#: interventions at the same instant.
+ARRIVAL_PRIORITY = -1
 
 
 class Event:

@@ -104,6 +104,135 @@ class TestScenarioSpec:
         ) == len(spec.interventions)
 
 
+class TestSpecValidationHardening:
+    """Parse-time rejection of degenerate values (ISSUE 8, satellite 1).
+
+    NaN comparisons are always false, so ``at < 0``-style checks silently
+    accept NaN unless finiteness is checked first — and a NaN timestamp
+    would wedge the kernel heap's tuple ordering mid-run.  The fuzzer
+    relies on every one of these being caught at construction time.
+    """
+
+    def test_nan_and_inf_times_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                Intervention(kind="peer_crash", at=bad, target="Org1")
+
+    def test_nan_and_inf_durations_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                Intervention(kind="latency_spike", at=0.0, duration=bad, factor=2.0)
+
+    def test_nan_factor_and_fraction_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Intervention(
+                kind="latency_spike", at=0.0, duration=1.0, factor=float("nan")
+            )
+        with pytest.raises(ValueError, match="finite"):
+            Intervention(
+                kind="conflict_storm", at=0.0, duration=1.0, fraction=float("nan")
+            )
+
+    def test_out_of_range_factor_rejected(self):
+        with pytest.raises(ValueError, match="must be <="):
+            Intervention(kind="latency_spike", at=0.0, duration=1.0, factor=1e6)
+
+    def test_profile_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at offset 0.0"):
+            Intervention(kind="rate_curve", at=0.0, profile=((0.5, 100.0),))
+
+    def test_unordered_profile_breakpoints_rejected(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Intervention(
+                kind="rate_curve",
+                at=0.0,
+                profile=((0.0, 100.0), (2.0, 50.0), (1.0, 200.0)),
+            )
+
+    def test_profile_rates_must_be_positive_finite_and_bounded(self):
+        with pytest.raises(ValueError, match="positive"):
+            Intervention(kind="rate_curve", at=0.0, profile=((0.0, 0.0),))
+        with pytest.raises(ValueError, match="finite"):
+            Intervention(kind="rate_curve", at=0.0, profile=((0.0, float("nan")),))
+        with pytest.raises(ValueError, match="must be <="):
+            Intervention(kind="rate_curve", at=0.0, profile=((0.0, 1e9),))
+
+    def test_profile_rejected_on_other_kinds(self):
+        with pytest.raises(ValueError, match="does not take a rate profile"):
+            Intervention(
+                kind="latency_spike",
+                at=0.0,
+                duration=1.0,
+                factor=2.0,
+                profile=((0.0, 100.0),),
+            )
+
+    def test_region_lag_requires_an_org_target(self):
+        with pytest.raises(ValueError, match="organization target"):
+            Intervention(kind="region_lag", at=0.0, duration=1.0, factor=2.0)
+
+    def test_hot_key_drift_needs_two_phases(self):
+        with pytest.raises(ValueError, match=">= 2 phases"):
+            Intervention(
+                kind="hot_key_drift", at=0.0, duration=1.0, phases=1
+            )
+
+    def test_mix_shift_activity_membership(self):
+        with pytest.raises(ValueError, match="from_activity"):
+            Intervention(
+                kind="mix_shift", at=0.0, duration=1.0, from_activity="meteor"
+            )
+        # write requires a value argument, so a shift *onto* write would
+        # produce invalid single-arg requests — rejected at parse time.
+        with pytest.raises(ValueError, match="to_activity"):
+            Intervention(
+                kind="mix_shift", at=0.0, duration=1.0, to_activity="write"
+            )
+        with pytest.raises(ValueError, match="must change the activity"):
+            Intervention(
+                kind="mix_shift",
+                at=0.0,
+                duration=1.0,
+                from_activity="read",
+                to_activity="read",
+            )
+
+    def test_new_kinds_round_trip_json(self):
+        spec = ScenarioSpec(
+            name="new_kinds",
+            interventions=(
+                Intervention(
+                    kind="rate_curve",
+                    at=0.2,
+                    profile=((0.0, 500.0), (1.0, 100.0), (2.5, 900.0)),
+                ),
+                Intervention(
+                    kind="hot_key_drift",
+                    at=0.1,
+                    duration=2.0,
+                    fraction=0.5,
+                    hot_keys=3,
+                    activity="update",
+                    phases=3,
+                ),
+                Intervention(
+                    kind="mix_shift",
+                    at=0.3,
+                    duration=1.0,
+                    fraction=0.75,
+                    from_activity="write",
+                    to_activity="read",
+                ),
+                Intervention(
+                    kind="region_lag", at=0.4, duration=1.0, target="Org2", factor=5.0
+                ),
+            ),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        for iv in spec.interventions:
+            assert iv.describe()
+
+
 # -- kernel-scheduled interventions ----------------------------------------------------
 
 
@@ -336,7 +465,9 @@ class TestScenarioBench:
     def test_registry_exposes_scenario_group(self):
         from repro.bench.registry import experiments
 
-        specs = experiments("scenario_faults")
+        specs = experiments("scenario_faults") + experiments("fuzzed")
+        # Every library scenario runs from the registry: the hand-written
+        # ones under scenario_faults, the fuzzer-promoted ones under fuzzed.
         assert {spec.variant for spec in specs} >= set(scenario_names()) - {"chaos"}
         for spec in specs:
             assert spec.maker == "scenario"

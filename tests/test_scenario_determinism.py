@@ -53,6 +53,18 @@ def test_identical_seed_and_scenario_reproduce_the_run(scenario_name):
         assert timeline_a == timeline_b and timeline_a
 
 
+def test_every_library_scenario_is_behaviourally_distinct():
+    # ISSUE 8 satellite: two library entries with the same run digest
+    # would mean one of them (e.g. a fuzzer-promoted composition) is a
+    # behavioural duplicate and should not have been added.
+    digests = {}
+    for name in scenario_names():
+        network, _, _ = _execute(name, seed=11)
+        digests.setdefault(run_digest(network), []).append(name)
+    duplicates = {d: names for d, names in digests.items() if len(names) > 1}
+    assert not duplicates, f"scenarios share a run digest: {duplicates}"
+
+
 def test_different_seeds_actually_diverge():
     # Guards the test above against vacuous equality (e.g. the trace
     # accidentally recording nothing).

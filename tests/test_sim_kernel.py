@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import ARRIVAL_PRIORITY, INTERVENTION_PRIORITY, Kernel
 
 
 def test_events_fire_in_time_order():
@@ -238,7 +238,24 @@ def test_trace_records_fired_events_only():
     cancelled.cancel()
     kernel.schedule_intervention(3.0, lambda: None)
     kernel.run()
-    assert [(time, priority) for time, priority, _ in trace] == [(1.0, 0), (3.0, -1)]
+    assert [(time, priority) for time, priority, _ in trace] == [
+        (1.0, 0),
+        (3.0, INTERVENTION_PRIORITY),
+    ]
+
+
+def test_priority_lanes_order_same_instant_events():
+    # Interventions beat arrivals beat ordinary events at equal
+    # timestamps, regardless of scheduling order — the lane contract the
+    # scenario engine and streamed runs rely on.
+    kernel = Kernel()
+    order: list[str] = []
+    kernel.schedule(1.0, lambda: order.append("ordinary"))
+    kernel.schedule(1.0, lambda: order.append("arrival"), priority=ARRIVAL_PRIORITY)
+    kernel.schedule_intervention(1.0, lambda: order.append("intervention"))
+    kernel.run()
+    assert order == ["intervention", "arrival", "ordinary"]
+    assert INTERVENTION_PRIORITY < ARRIVAL_PRIORITY < 0
 
 
 def test_enable_trace_is_idempotent():
