@@ -24,6 +24,12 @@ The registry covers the layers every experiment run exercises:
                           request generator, RunStream fan-out and bounded
                           accumulators instead of a materialized ledger
 ========================  =====================================================
+
+Two ``*_batch`` entries mirror ``kernel_event_churn`` and
+``pipeline_round_trip`` through the :mod:`repro.sim.batch` kernel tier —
+identical workload, identical digest payload, different execution tier —
+so ``repro perf --compare`` quantifies the batch tier's speedup and the
+determinism digests double as one more cross-tier equivalence check.
 """
 
 from __future__ import annotations
@@ -46,13 +52,13 @@ class Microbenchmark:
     make: Callable[[], Trial]
 
 
-def _kernel_event_churn() -> Trial:
-    from repro.sim.kernel import Kernel
+def _kernel_event_churn(tier: str = "reference") -> Trial:
+    from repro.sim.batch import make_kernel
 
     count = 20_000
 
     def trial() -> object:
-        kernel = Kernel()
+        kernel = make_kernel(tier)
         cancelled = 0
         events = []
         # A braided schedule: interleaved times, two priority lanes, and a
@@ -76,7 +82,7 @@ def _noop() -> None:
     return None
 
 
-def _pipeline_round_trip() -> Trial:
+def _pipeline_round_trip(tier: str = "reference") -> Trial:
     from repro.bench.experiments import make_synthetic
 
     make = make_synthetic("default", seed=7, total_transactions=1500)
@@ -85,11 +91,20 @@ def _pipeline_round_trip() -> Trial:
         from repro.fabric.network import run_workload
 
         config, family, requests = make()
+        config.kernel_tier = tier
         deployment = family.deploy()
         _, result = run_workload(config, deployment.contracts, requests)
         return result.summary_row()
 
     return trial
+
+
+def _kernel_event_churn_batch() -> Trial:
+    return _kernel_event_churn("batch")
+
+
+def _pipeline_round_trip_batch() -> Trial:
+    return _pipeline_round_trip("batch")
 
 
 def _make_log():
@@ -269,6 +284,16 @@ _REGISTRY: tuple[Microbenchmark, ...] = (
         name="streaming_overhead",
         description="the 1.5k-tx pipeline round trip through the streaming path",
         make=_streaming_overhead,
+    ),
+    Microbenchmark(
+        name="kernel_event_churn_batch",
+        description="the same 20k-event churn through the batch kernel tier",
+        make=_kernel_event_churn_batch,
+    ),
+    Microbenchmark(
+        name="pipeline_round_trip_batch",
+        description="the same 1.5k-tx round trip under the batch kernel tier",
+        make=_pipeline_round_trip_batch,
     ),
 )
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.fabric.retry import RetryPolicy
+from repro.sim.kernel import KERNEL_TIERS
 
 #: Selectable failure-mitigation strategies (see docs/FAILURES.md):
 #: ``none`` is the seed behaviour, ``early_abort`` drops transactions with
@@ -116,8 +117,19 @@ class NetworkConfig:
     retry: RetryPolicy | None = None
     #: Failure-mitigation strategy, one of :data:`MITIGATIONS`.
     mitigation: str = "none"
+    #: Kernel execution tier, one of
+    #: :data:`~repro.sim.kernel.KERNEL_TIERS`; ``None`` defers to the
+    #: ``REPRO_KERNEL`` environment variable (default ``reference``).
+    #: Both tiers are bit-identical; ``batch`` trades per-event heap
+    #: maintenance for one array sort (see :mod:`repro.sim.batch`).
+    kernel_tier: str | None = None
 
     def __post_init__(self) -> None:
+        if self.kernel_tier is not None and self.kernel_tier not in KERNEL_TIERS:
+            raise ValueError(
+                f"unknown kernel_tier {self.kernel_tier!r}; "
+                f"known: {', '.join(KERNEL_TIERS)}"
+            )
         if self.mitigation not in MITIGATIONS:
             raise ValueError(
                 f"unknown mitigation {self.mitigation!r}; known: {', '.join(MITIGATIONS)}"
@@ -174,6 +186,7 @@ class NetworkConfig:
             seed=self.seed,
             retry=self.retry,
             mitigation=self.mitigation,
+            kernel_tier=self.kernel_tier,
         )
 
 

@@ -29,6 +29,10 @@ Oracles (each returns a list of violation strings, empty = pass):
     forensics taxonomy accounts for every failure.
 ``roundtrip``
     Every generated spec must survive JSON serialization unchanged.
+``batch_equivalence``
+    The vectorized batch kernel tier (:mod:`repro.sim.batch`) must
+    reproduce the primary execution bit for bit: identical kernel event
+    trace, identical run digest and identical forensics digest.
 
 Everything is deterministic: the generator derives one private
 ``random.Random`` per (campaign seed, composition index) via SHA-256, so
@@ -69,7 +73,13 @@ from repro.scenario.spec import (
 CORPUS_FORMAT = 1
 
 #: The oracle battery, in reporting order.
-ORACLES = ("determinism", "stream_batch", "conservation", "roundtrip")
+ORACLES = (
+    "determinism",
+    "stream_batch",
+    "conservation",
+    "roundtrip",
+    "batch_equivalence",
+)
 
 #: One-line taxonomy explanations used to auto-label *why* a surviving
 #: composition hurts (definitions: docs/FAILURES.md).
@@ -295,9 +305,20 @@ class FuzzHarness:
     def _contracts(self):
         return self._family.deploy().contracts
 
-    def execute(self, spec: ScenarioSpec) -> _Execution:
-        """One fresh batch run of ``spec`` over the base workload."""
-        network = FabricNetwork(self.network_config, self._contracts(), scenario=spec)
+    def execute(
+        self, spec: ScenarioSpec, kernel_tier: str | None = None
+    ) -> _Execution:
+        """One fresh batch run of ``spec`` over the base workload.
+
+        ``kernel_tier`` forces a specific kernel implementation for the
+        ``batch_equivalence`` oracle; ``None`` keeps the campaign config
+        (and therefore the ``REPRO_KERNEL`` environment default).
+        """
+        config = self.network_config
+        if kernel_tier is not None:
+            config = config.copy()
+            config.kernel_tier = kernel_tier
+        network = FabricNetwork(config, self._contracts(), scenario=spec)
         trace = network.kernel.enable_trace()
         network.run(list(self.requests))
         report = forensics_report(network)
@@ -439,6 +460,30 @@ class FuzzHarness:
             violations.append("from_dict(json(to_dict(spec))) != spec")
         return violations
 
+    def check_batch_equivalence(self, spec: ScenarioSpec) -> list[str]:
+        """The batch kernel tier must reproduce the primary run bit for bit.
+
+        The primary execution runs under the campaign's resolved tier
+        (the reference kernel by default); the comparison run forces
+        ``kernel_tier="batch"``.  Under ``REPRO_KERNEL=batch`` both runs
+        use the batch tier, which degrades this oracle to a batch-tier
+        determinism check — the cross-tier comparison then happens in the
+        reference-tier CI leg, where the same corpus digests must hold.
+        """
+        reference = self.primary(spec)
+        batch = self.execute(spec, kernel_tier="batch")
+        violations = []
+        if reference.trace != batch.trace:
+            violations.append("batch-tier kernel event trace diverged from primary")
+        if reference.digest != batch.digest:
+            violations.append(
+                f"batch-tier run digest diverged: {batch.digest[:12]} != "
+                f"{reference.digest[:12]}"
+            )
+        if reference.forensics_digest != batch.forensics_digest:
+            violations.append("batch-tier forensics digest diverged from primary")
+        return violations
+
     def run_oracles(self, spec: ScenarioSpec) -> dict[str, list[str]]:
         """Run the configured oracle subset; name -> violations."""
         checks: dict[str, Callable[[ScenarioSpec], list[str]]] = {
@@ -446,6 +491,7 @@ class FuzzHarness:
             "stream_batch": self.check_stream_batch,
             "conservation": self.check_conservation,
             "roundtrip": self.check_roundtrip,
+            "batch_equivalence": self.check_batch_equivalence,
         }
         return {
             oracle: checks[oracle](spec)
@@ -706,8 +752,26 @@ def replay_corpus(directory: str | Path) -> list[ReplayResult]:
     oracle cleanliness *and* behavioural digests — any engine change that
     shifts a fuzzed run's outcome shows up as digest drift here before it
     can reach a promoted scenario.
+
+    A corpus directory may nest *sub-campaigns* — subdirectories with
+    their own ``campaign.json`` (e.g. a campaign against a skewed-key
+    base workload).  They are replayed too, in sorted directory order,
+    with their results prefixed ``<subdir>/``; one CI invocation covers
+    every committed campaign.
     """
     root = Path(directory)
+    results = _replay_campaign(root)
+    for child in sorted(path for path in root.iterdir() if path.is_dir()):
+        if (child / "campaign.json").is_file():
+            results.extend(
+                dataclasses.replace(result, name=f"{child.name}/{result.name}")
+                for result in _replay_campaign(child)
+            )
+    return results
+
+
+def _replay_campaign(root: Path) -> list[ReplayResult]:
+    """Replay one campaign directory (no recursion)."""
     manifest = json.loads((root / "campaign.json").read_text())
     if manifest.get("format_version") != CORPUS_FORMAT:
         raise ValueError(

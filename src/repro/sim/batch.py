@@ -1,0 +1,230 @@
+"""The batch execution tier: array-staged event draining.
+
+The reference :class:`~repro.sim.kernel.Kernel` pays one ``heappush`` +
+one ``heappop`` per event.  Profiling the experiment pipeline shows a
+large share of those events is known *before the clock starts*: batch
+runs pre-schedule every workload arrival, and the perf registry's
+``kernel_event_churn`` shape (schedule everything, then drain) is
+exactly how the orderer timeout and arrival machinery behave.
+
+:class:`BatchKernel` exploits that. Events scheduled while the kernel is
+idle are *staged* in a plain list instead of the heap; at
+:meth:`BatchKernel.run` time one ``numpy.lexsort`` over the staged
+``(time, priority, seq)`` columns produces the exact heap-pop order (the
+sort key is unique — ``seq`` is a per-kernel counter — so stable lexsort
+and repeated ``heappop`` agree element for element).  The drain loop
+then walks the sorted cohort with a plain cursor, falling back to a real
+heap only for events scheduled *during* the run, and merges the two
+sources by the same three-column key.  The observable behaviour —
+``now``, ``events_processed``, ``pending()``, trace entries, callback
+order, ``until``/``max_events`` semantics — is bit-identical to the
+reference kernel; ``tests/test_batch_equivalence.py`` and the fuzzer's
+``batch_equivalence`` oracle enforce that, and every golden digest must
+hold under either tier.
+
+Tier selection is config-first, environment-second:
+``NetworkConfig.kernel_tier`` wins when set, otherwise the
+``REPRO_KERNEL`` environment variable, otherwise the reference tier —
+so ``REPRO_KERNEL=batch pytest`` flips an entire test run without
+touching a single config.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.kernel import KERNEL_TIERS, Event, Kernel
+
+#: Environment variable consulted when ``NetworkConfig.kernel_tier`` is unset.
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+def resolve_kernel_tier(configured: str | None = None) -> str:
+    """The effective kernel tier: config beats environment beats default."""
+    tier = configured if configured is not None else os.environ.get(KERNEL_ENV)
+    if tier is None:
+        return "reference"
+    if tier not in KERNEL_TIERS:
+        source = "kernel_tier" if configured is not None else KERNEL_ENV
+        raise ValueError(
+            f"unknown kernel tier {tier!r} (from {source}); "
+            f"known: {', '.join(KERNEL_TIERS)}"
+        )
+    return tier
+
+
+def make_kernel(tier: str) -> Kernel:
+    """Construct the kernel implementing ``tier`` (already resolved)."""
+    if tier == "batch":
+        return BatchKernel()
+    if tier == "reference":
+        return Kernel()
+    raise ValueError(f"unknown kernel tier {tier!r}; known: {', '.join(KERNEL_TIERS)}")
+
+
+class BatchKernel(Kernel):
+    """Drop-in :class:`~repro.sim.kernel.Kernel` with array-staged draining.
+
+    Scheduling while idle appends the :class:`~repro.sim.kernel.Event`
+    to a staging list; one ``numpy.lexsort`` at :meth:`run` entry
+    replaces per-event heap maintenance.  Events scheduled mid-run take
+    the inherited heap path, and the drain merges both sources in exact
+    ``(time, priority, seq)`` order, so results are bit-identical to the
+    reference kernel.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Events scheduled while idle, in insertion order (sorted at run).
+        self._staged: list[Event] = []
+        #: True while :meth:`run` is draining (mid-run schedules go to the heap).
+        self._running = False
+
+    def schedule(
+        self, time: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at absolute time ``time`` (staged while idle)."""
+        if self._running:
+            return super().schedule(time, action, priority)
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time:.6f} before now={self._now:.6f}"
+            )
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, action, self)
+        self._staged.append(event)
+        self._live += 1
+        return event
+
+    def _sorted_stage(self) -> tuple[list[Event], list[float]]:
+        """The staged events in exact fire order, plus their times.
+
+        ``lexsort`` keys are (time, priority, seq) with ``seq`` unique, so
+        the stable sort reproduces heap-pop order exactly.  ``tolist()``
+        converts the time column back to native floats once, keeping the
+        drain loop free of numpy scalar overhead; priority and seq are
+        read off the events themselves on the rare paths that need them
+        (time-tie merges against the heap, tracing).
+        """
+        staged = self._staged
+        count = len(staged)
+        times = np.fromiter(
+            (event.time for event in staged), dtype=np.float64, count=count
+        )
+        priorities = np.fromiter(
+            (event.priority for event in staged), dtype=np.int64, count=count
+        )
+        seqs = np.fromiter(
+            (event.seq for event in staged), dtype=np.int64, count=count
+        )
+        order = np.lexsort((seqs, priorities, times))
+        return [staged[index] for index in order.tolist()], times[order].tolist()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain staged events and the heap in exact reference order."""
+        events, times = self._sorted_stage()
+        self._staged = []
+        self._running = True
+        cursor = 0
+        count = len(events)
+        heap = self._heap
+        pop = heappop
+        try:
+            if until is None and max_events is None:
+                # Fast variant of the general merge below for the dominant
+                # ``kernel.run()`` call shape: no bound checks inside the
+                # loop, and the staged branch touches only the event list
+                # and the time column.
+                while True:
+                    if heap:
+                        time, priority, seq, event = heap[0]
+                        if cursor < count:
+                            stime = times[cursor]
+                            staged_event = events[cursor]
+                            if time > stime or (
+                                time == stime
+                                and (priority, seq)
+                                > (staged_event.priority, staged_event.seq)
+                            ):
+                                event = staged_event
+                                time = stime
+                                cursor += 1
+                            else:
+                                pop(heap)
+                        else:
+                            pop(heap)
+                    elif cursor < count:
+                        event = events[cursor]
+                        time = times[cursor]
+                        cursor += 1
+                    else:
+                        break
+                    event.popped = True
+                    if event.cancelled:
+                        # Its cancel() already removed it from the live count.
+                        continue
+                    self._live -= 1
+                    self._now = time
+                    self._processed += 1
+                    if self._trace is not None:
+                        self._trace.append((time, event.priority, event.seq))
+                    event.action()
+                return
+
+            while True:
+                staged_next = cursor < count
+                if heap:
+                    time, priority, seq, event = heap[0]
+                    from_heap = True
+                    if staged_next:
+                        stime = times[cursor]
+                        staged_event = events[cursor]
+                        if time > stime or (
+                            time == stime
+                            and (priority, seq)
+                            > (staged_event.priority, staged_event.seq)
+                        ):
+                            from_heap = False
+                elif staged_next:
+                    from_heap = False
+                else:
+                    break
+
+                if not from_heap:
+                    event = events[cursor]
+                    time = times[cursor]
+                    priority = event.priority
+                    seq = event.seq
+
+                if max_events is not None and self._processed >= max_events:
+                    return
+                if until is not None and time > until:
+                    self._now = until
+                    return
+                if from_heap:
+                    pop(heap)
+                else:
+                    cursor += 1
+                event.popped = True
+                if event.cancelled:
+                    continue
+                self._live -= 1
+                self._now = time
+                self._processed += 1
+                if self._trace is not None:
+                    self._trace.append((time, priority, seq))
+                event.action()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+            if cursor < count:
+                # A paused run (`until`/`max_events`) leaves its undrained
+                # tail staged; the next run re-sorts it together with any
+                # newly staged events.
+                self._staged = events[cursor:] + self._staged

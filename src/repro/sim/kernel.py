@@ -22,12 +22,23 @@ tuple comparison always resolves within the first three (C-compared)
 elements and ``heapq`` never calls back into Python — the profiled
 ``Event.__lt__`` hot spot of the dataclass-based heap.  The :class:`Event`
 object in the last slot is the cancellation handle returned to callers.
+
+This class is the **reference tier**.  :mod:`repro.sim.batch` provides a
+drop-in ``batch`` tier (:class:`~repro.sim.batch.BatchKernel`) that
+stages idle-time schedules in arrays and orders them with one
+``numpy.lexsort`` instead of per-event heap maintenance; it must stay
+bit-identical to this implementation (see :data:`KERNEL_TIERS` and the
+differential harness in ``tests/test_batch_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
 from typing import Callable
+
+#: Selectable kernel implementations: the reference event loop here and
+#: the array-staged batch tier in :mod:`repro.sim.batch`.
+KERNEL_TIERS = ("reference", "batch")
 
 #: Priority lane for scenario interventions: strictly before the default
 #: lane (0) at equal timestamps.

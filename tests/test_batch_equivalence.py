@@ -1,0 +1,379 @@
+"""Differential equivalence harness for the batch kernel tier (ISSUE 9).
+
+:class:`repro.sim.batch.BatchKernel` claims *bit-identical* behaviour to
+the reference :class:`repro.sim.kernel.Kernel`.  This file is the proof
+obligation, at three levels:
+
+* **Kernel level** — hypothesis drives both kernels through the same
+  randomized program (mixed priorities, cancellations, follow-up events
+  scheduled from inside callbacks, ``run(until)`` / ``run(max_events)``
+  pauses with between-run scheduling) and demands identical event traces,
+  clocks and counters.
+* **Run level** — random :class:`~repro.workloads.spec.ControlVariables`
+  × scenario × seed compositions must produce the same kernel trace, the
+  same :func:`~repro.scenario.engine.run_digest` and the same forensics
+  digest under either tier, for both the batch and the streaming record
+  pipeline.
+* **Golden level** — the committed golden digests (fuzzer-promoted
+  scenarios, the scenario-fault headline/forensics goldens) must hold
+  byte-for-byte when recomputed under the batch tier.  No batch-specific
+  golden files exist on purpose: one set of goldens, two tiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.batch import KERNEL_ENV, BatchKernel, make_kernel, resolve_kernel_tier
+from repro.sim.kernel import KERNEL_TIERS, Kernel
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# -- tier selection -------------------------------------------------------------------
+
+
+class TestTierSelection:
+    def test_default_is_the_reference_tier(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel_tier(None) == "reference"
+
+    def test_environment_selects_the_batch_tier(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "batch")
+        assert resolve_kernel_tier(None) == "batch"
+
+    def test_config_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "batch")
+        assert resolve_kernel_tier("reference") == "reference"
+
+    def test_unknown_tier_names_its_source(self, monkeypatch):
+        with pytest.raises(ValueError, match="kernel_tier"):
+            resolve_kernel_tier("turbo")
+        monkeypatch.setenv(KERNEL_ENV, "turbo")
+        with pytest.raises(ValueError, match=KERNEL_ENV):
+            resolve_kernel_tier(None)
+
+    def test_make_kernel_covers_every_tier(self):
+        kinds = {tier: type(make_kernel(tier)) for tier in KERNEL_TIERS}
+        assert kinds["reference"] is Kernel
+        assert kinds["batch"] is BatchKernel
+        with pytest.raises(ValueError, match="turbo"):
+            make_kernel("turbo")
+
+def test_network_config_validates_kernel_tier():
+    from conftest import small_config
+
+    config = small_config(kernel_tier="batch")
+    assert config.copy().kernel_tier == "batch"
+    with pytest.raises(ValueError, match="kernel_tier"):
+        small_config(kernel_tier="turbo")
+
+
+# -- kernel-level differential fuzz ---------------------------------------------------
+
+#: One scheduled event: (time, priority, behaviour).  Behaviour 1 cancels
+#: the oldest still-pending tracked event from inside the callback;
+#: behaviour 2 schedules a follow-up event mid-run; 0 and 3-5 just fire.
+_ops = st.lists(
+    st.tuples(
+        st.floats(0.0, 40.0, allow_nan=False, allow_infinity=False),
+        st.sampled_from([-2, -1, 0, 1]),
+        st.integers(0, 5),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _drive(kernel: Kernel, ops, runmode: int):
+    """Run one deterministic program against ``kernel``; return observables.
+
+    The program depends only on ``ops`` and the order events fire in, so
+    two kernels that fire identically produce identical logs — and two
+    kernels that diverge anywhere produce diverging logs from that point.
+    """
+    trace = kernel.enable_trace()
+    fired: list[tuple] = []
+    tracked: list = []
+
+    def make_action(index: int, behaviour: int):
+        def action() -> None:
+            fired.append((index, kernel.now, kernel.events_processed, kernel.pending()))
+            if behaviour == 1:
+                while tracked:
+                    event = tracked.pop(0)
+                    if not event.popped and not event.cancelled:
+                        event.cancel()
+                        break
+            elif behaviour == 2:
+                # Follow-up scheduled mid-run: lands on the heap path of
+                # the batch kernel, the plain heap of the reference one.
+                tracked.append(
+                    kernel.schedule(
+                        kernel.now + 1.25, make_action(1000 + index, 0), priority=index % 3 - 1
+                    )
+                )
+
+        return action
+
+    times = []
+    for index, (time, priority, behaviour) in enumerate(ops):
+        tracked.append(kernel.schedule(time, make_action(index, behaviour), priority))
+        times.append(time)
+    # A deterministic slice of pre-run cancellations exercises the
+    # cancelled-event skip in the staged drain.
+    for event in tracked[:: 7]:
+        event.cancel()
+
+    if runmode == 0:
+        kernel.run()
+    elif runmode == 1:
+        kernel.run(until=sorted(times)[len(times) // 2])
+        kernel.run()
+    elif runmode == 2:
+        kernel.run(max_events=max(1, len(ops) // 2))
+        kernel.run()
+    else:
+        kernel.run(until=min(times))
+        # Scheduling while paused: staged by the batch kernel, heaped by
+        # the reference one — both must re-merge identically.
+        kernel.schedule(kernel.now + 0.5, make_action(2000, 0), priority=-1)
+        kernel.run()
+
+    return fired, tuple(trace), kernel.now, kernel.events_processed, kernel.pending()
+
+
+@settings(max_examples=120, deadline=None)
+@given(_ops, st.integers(0, 3))
+def test_random_kernel_programs_are_tier_identical(ops, runmode):
+    reference = _drive(Kernel(), ops, runmode)
+    batch = _drive(BatchKernel(), ops, runmode)
+    assert batch == reference
+
+
+def test_staged_schedule_rejects_past_times():
+    kernel = BatchKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert kernel.now == 1.0
+    with pytest.raises(ValueError, match="before now"):
+        kernel.schedule(0.5, lambda: None)
+
+
+# -- run-level differential fuzz ------------------------------------------------------
+
+
+def _tiered_execution(control, scenario_name: str | None, kernel_tier: str):
+    """One full run of ``control`` under ``kernel_tier``; returns observables."""
+    from repro.analysis import forensics_report, report_digest
+    from repro.fabric.network import FabricNetwork
+    from repro.scenario import get_scenario, run_digest
+    from repro.workloads.synthetic import synthetic_workload
+
+    config, deployment, requests = synthetic_workload(control)
+    config.kernel_tier = kernel_tier
+    scenario = get_scenario(scenario_name) if scenario_name else None
+    network = FabricNetwork(config, deployment.contracts, scenario=scenario)
+    trace = network.kernel.enable_trace()
+    network.run(requests)
+    return tuple(trace), run_digest(network), report_digest(forensics_report(network))
+
+
+_controls = st.builds(
+    dict,
+    seed=st.integers(0, 9999),
+    key_dist_skew=st.sampled_from([1.0, 2.0]),
+    send_rate=st.sampled_from([200.0, 500.0]),
+    block_count=st.sampled_from([50, 300]),
+    tx_dist_skew=st.sampled_from([0.0, 0.7]),
+    workload=st.sampled_from(["uniform", "update_heavy", "rangeread_heavy"]),
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(_controls, st.sampled_from([None, "crash_burst", "conflict_storm"]))
+def test_random_compositions_are_tier_identical(knobs, scenario_name):
+    from repro.workloads.spec import ControlVariables, WorkloadType
+
+    control = ControlVariables(
+        workload_type=WorkloadType(knobs["workload"]),
+        key_dist_skew=knobs["key_dist_skew"],
+        send_rate=knobs["send_rate"],
+        block_count=knobs["block_count"],
+        tx_dist_skew=knobs["tx_dist_skew"],
+        total_transactions=140,
+        num_keys=200,
+        seed=knobs["seed"],
+    )
+    reference = _tiered_execution(control, scenario_name, "reference")
+    batch = _tiered_execution(control, scenario_name, "batch")
+    assert batch[0] == reference[0], "kernel event traces diverged across tiers"
+    assert batch[1] == reference[1], "run digests diverged across tiers"
+    assert batch[2] == reference[2], "forensics digests diverged across tiers"
+
+
+# -- streaming pipeline across tiers --------------------------------------------------
+
+
+def _streamed_metrics(kernel_tier: str):
+    """Streamed-run metrics + forensics digest for the fixed bundle."""
+    from repro.analysis.forensics import ForensicsAccumulator
+    from repro.bench.experiments import make_synthetic
+    from repro.core.metrics import MetricsAccumulator
+    from repro.fabric.network import FabricNetwork
+    from repro.logs.stream import RunStream
+
+    config, family, requests = make_synthetic(
+        "default", seed=13, total_transactions=400
+    )()
+    config.kernel_tier = kernel_tier
+    stream = RunStream()
+    metrics = MetricsAccumulator()
+    forensics = ForensicsAccumulator()
+    stream.add_record_consumer(metrics)
+    stream.add_transaction_consumer(forensics)
+    network = FabricNetwork(config, family.deploy().contracts, stream=stream)
+    stats = network.run_streamed(
+        sorted(requests, key=lambda request: request.submit_time)
+    )
+    metrics.config = stream.config
+    report = forensics.finish(scenario="baseline", mitigation="none")
+    return metrics.finish(), report.to_dict(), dataclasses.asdict(stats)
+
+
+def test_streamed_metrics_are_tier_identical():
+    reference = _streamed_metrics("reference")
+    batch = _streamed_metrics("batch")
+    assert batch[0] == reference[0], "streamed metrics diverged across tiers"
+    assert batch[1] == reference[1], "streamed forensics diverged across tiers"
+    assert batch[2] == reference[2]
+
+
+def test_streamed_equals_batch_extraction_under_the_batch_tier():
+    """The stream/batch-pipeline equivalence the seed proved for the
+    reference kernel must also hold inside the batch tier (where the
+    block-at-a-time fan-out path is active)."""
+    from repro.bench.experiments import make_synthetic
+    from repro.core.metrics import compute_metrics
+    from repro.fabric.network import run_workload
+    from repro.logs.extract import extract_blockchain_log
+
+    config, family, requests = make_synthetic(
+        "default", seed=13, total_transactions=400
+    )()
+    config.kernel_tier = "batch"
+    network, _ = run_workload(config, family.deploy().contracts, requests)
+    batch_metrics = compute_metrics(extract_blockchain_log(network))
+    assert _streamed_metrics("batch")[0] == batch_metrics
+
+
+# -- golden pins under the batch tier -------------------------------------------------
+
+
+class TestBatchTierGoldens:
+    """The committed goldens hold under ``REPRO_KERNEL=batch`` — same files,
+    no batch-specific copies."""
+
+    def test_promoted_scenario_digests_hold_under_batch(self):
+        from repro.bench.experiments import make_synthetic
+        from repro.fabric.network import FabricNetwork
+        from repro.scenario import get_scenario, run_digest
+
+        golden = json.loads(
+            (REPO / "tests" / "golden" / "fuzzed__library_digests.json").read_text()
+        )
+        for name, expected in golden["digests"].items():
+            config, family, requests = make_synthetic(
+                golden["base"],
+                seed=golden["seed"],
+                total_transactions=golden["total_transactions"],
+            )()
+            config.kernel_tier = "batch"
+            network = FabricNetwork(
+                config, family.deploy().contracts, scenario=get_scenario(name)
+            )
+            network.run(requests)
+            assert run_digest(network) == expected, (
+                f"promoted scenario {name} diverged under the batch tier"
+            )
+
+    @pytest.mark.parametrize(
+        "exp_id", ["scenario_faults/crash_burst", "scenario_faults/partial_outage"]
+    )
+    def test_scenario_fault_headlines_hold_under_batch(self, exp_id, monkeypatch):
+        import test_golden_figures as golden_mod
+
+        monkeypatch.setenv(KERNEL_ENV, "batch")
+        golden = json.loads(golden_mod._golden_path(exp_id).read_text())
+        measured = golden_mod._compute(exp_id)
+        assert measured["rows"] == golden["rows"], (
+            f"{exp_id}: headline numbers diverged under the batch tier"
+        )
+        assert measured["recommendations"] == golden["recommendations"]
+
+    def test_scenario_fault_forensics_hold_under_batch(self, monkeypatch):
+        import test_golden_figures as golden_mod
+
+        monkeypatch.setenv(KERNEL_ENV, "batch")
+        exp_id = golden_mod.FORENSICS_GOLDEN
+        golden = json.loads(golden_mod._forensics_path(exp_id).read_text())
+        measured = golden_mod._compute_forensics(exp_id)
+        assert measured["report"] == golden["report"], (
+            f"{exp_id}: the forensics report diverged under the batch tier"
+        )
+
+
+# -- CLI tier selection ---------------------------------------------------------------
+
+
+def test_cli_kernel_flag_is_tier_transparent(capsys, monkeypatch):
+    """``--kernel batch`` must not change a single byte of CLI output."""
+    import os
+
+    from repro.cli import main
+
+    before = os.environ.get(KERNEL_ENV)
+    args = ["scenario", "--name", "crash_burst", "--txs", "150", "--seed", "3"]
+    assert main(["--kernel", "reference", *args]) == 0
+    reference_out = capsys.readouterr().out
+    assert main(["--kernel", "batch", *args]) == 0
+    batch_out = capsys.readouterr().out
+    assert batch_out == reference_out
+    assert os.environ.get(KERNEL_ENV) == before, "env override leaked"
+
+
+def test_cli_rejects_unknown_kernel_tier(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["--kernel", "turbo", "scenario", "--list"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+# -- fuzzer corpus under the batch tier -----------------------------------------------
+
+
+def test_fuzz_oracles_include_batch_equivalence():
+    from repro.scenario.fuzz import ORACLES
+
+    assert "batch_equivalence" in ORACLES
+
+
+def test_one_corpus_entry_is_batch_clean():
+    """A committed fuzz composition re-runs clean through the
+    batch_equivalence oracle (the full corpus replay lives in
+    test_fuzz.py; this pins the oracle wiring itself)."""
+    from repro.scenario.fuzz import FuzzConfig, FuzzHarness
+    from repro.scenario.spec import ScenarioSpec
+
+    entry = json.loads(
+        (REPO / "tests" / "corpus" / "fuzz" / "fuzz_11_0000.json").read_text()
+    )
+    harness = FuzzHarness(FuzzConfig(seed=11, budget=1))
+    spec = ScenarioSpec.from_json(json.dumps(entry["spec"]))
+    assert harness.check_batch_equivalence(spec) == []
