@@ -12,8 +12,8 @@ through the data model).
 Scope: all ``repro.*`` package ``__init__.py`` files plus the public-API
 modules the documentation contract names — the simulation kernel, the
 suite executor, the scenario engine, the whole ``repro.bench.perf``
-package, the whole ``repro.analysis`` package, and every public module of
-``repro.fabric``.
+package, the whole ``repro.analysis`` and ``repro.control`` packages, and
+every public module of ``repro.fabric``.
 
 Usage::
 
@@ -33,9 +33,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 
-#: Modules whose full public API must be documented.  The ``repro.fabric``
-#: and ``repro.analysis`` packages are scoped wholesale (every non-dunder
-#: module), so new modules join the contract automatically.
+#: Modules whose full public API must be documented.  The ``repro.fabric``,
+#: ``repro.analysis`` and ``repro.control`` packages are scoped wholesale
+#: (every non-dunder module), so new modules join the contract
+#: automatically.
 DEFAULT_SCOPE = [
     SRC / "sim" / "kernel.py",
     SRC / "bench" / "executor.py",
@@ -111,6 +112,7 @@ def main(argv: list[str]) -> int:
             + DEFAULT_SCOPE
             + package_modules(SRC / "fabric")
             + package_modules(SRC / "analysis")
+            + package_modules(SRC / "control")
         )
     missing = [path for path in paths if not path.is_file()]
     if missing:

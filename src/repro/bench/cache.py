@@ -30,8 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.bench.registry import ExperimentSpec
 
 #: Bump to invalidate every existing cache entry on format changes.
-#: Format 2 added the per-row failure-forensics reports.
-CACHE_FORMAT = 2
+#: Format 2 added the per-row failure-forensics reports; format 3 the
+#: per-row SLO-guardian control timelines.
+CACHE_FORMAT = 3
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -74,6 +75,8 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
     }
     if outcome.forensics is not None:
         data["forensics"] = list(outcome.forensics)
+    if outcome.control is not None:
+        data["control"] = list(outcome.control)
     return data
 
 
@@ -94,6 +97,7 @@ def outcome_from_dict(data: dict) -> ExperimentOutcome:
         recommendations=list(data["recommendations"]),
         paper={label: tuple(values) for label, values in data["paper"].items()},
         forensics=data.get("forensics"),
+        control=data.get("control"),
     )
 
 

@@ -32,6 +32,7 @@ from repro.bench.cache import ResultCache
 from repro.bench.harness import (
     ExperimentOutcome,
     RunRow,
+    control_timeline_dict,
     default_recommendation,
     execute_experiment,
     unpack_bundle,
@@ -140,6 +141,8 @@ class _BaselineResult:
     plan_tasks: list[tuple[str, tuple[Recommendation, ...], bool]]
     #: Baseline failure-forensics report (dict form).
     forensics: dict = None  # type: ignore[assignment]
+    #: Baseline control timeline (dict form), ``None`` when controller-off.
+    control: dict | None = None
 
 
 def _baseline_task(spec: ExperimentSpec) -> _BaselineResult:
@@ -173,15 +176,17 @@ def _baseline_task(spec: ExperimentSpec) -> _BaselineResult:
         recommendations=sorted(kind.value for kind in recommended),
         plan_tasks=plan_tasks,
         forensics=forensics_report(network).to_dict(),
+        control=control_timeline_dict(network),
     )
 
 
 def _plan_task(
     spec: ExperimentSpec, label: str, recs: tuple[Recommendation, ...], forced: bool
-) -> tuple[RunRow, dict]:
+) -> tuple[RunRow, dict, dict | None]:
     """Wave 2: apply one plan's recommendations and re-run (mirrors the
     per-plan loop of :func:`repro.bench.harness.execute_experiment`).
-    Returns the row plus the run's forensics report (dict form)."""
+    Returns the row plus the run's forensics report (dict form) and its
+    control timeline (``None`` when the run has no controller)."""
     from repro.analysis.forensics import forensics_report
 
     config, family, requests, scenario = unpack_bundle(spec.make_bundle()())
@@ -193,7 +198,7 @@ def _plan_task(
         scenario=scenario,
     )
     row = RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
-    return row, forensics_report(network).to_dict()
+    return row, forensics_report(network).to_dict(), control_timeline_dict(network)
 
 
 # -- the suite runner ---------------------------------------------------------------
@@ -256,10 +261,11 @@ def _run_parallel(
 ) -> None:
     by_id = {spec.exp_id: spec for spec in to_run}
     baselines: dict[str, _BaselineResult] = {}
-    # exp_id -> {plan index -> (RunRow, forensics dict)}, filled as wave-2
-    # tasks finish.  Keyed by index, not label: duplicate plan labels must
-    # still produce one row each, exactly as the serial path does.
-    plan_rows: dict[str, dict[int, tuple[RunRow, dict]]] = {
+    # exp_id -> {plan index -> (RunRow, forensics dict, control dict)},
+    # filled as wave-2 tasks finish.  Keyed by index, not label: duplicate
+    # plan labels must still produce one row each, exactly as the serial
+    # path does.
+    plan_rows: dict[str, dict[int, tuple[RunRow, dict, dict | None]]] = {
         spec.exp_id: {} for spec in to_run
     }
     plans_open: dict[str, int] = {}
@@ -323,19 +329,22 @@ def _run_parallel(
 def _assemble(
     spec: ExperimentSpec,
     baseline: _BaselineResult,
-    rows_by_index: dict[int, tuple[RunRow, dict]],
+    rows_by_index: dict[int, tuple[RunRow, dict, dict | None]],
 ) -> ExperimentOutcome:
     """Rows in plan order, identical to what ``execute_experiment`` builds."""
     rows = [baseline.row]
     forensics = [baseline.forensics]
+    control: list[dict | None] = [baseline.control]
     for index in range(len(spec.plans)):
-        row, row_forensics = rows_by_index[index]
+        row, row_forensics, row_control = rows_by_index[index]
         rows.append(row)
         forensics.append(row_forensics)
+        control.append(row_control)
     return ExperimentOutcome(
         name=spec.title,
         rows=rows,
         recommendations=baseline.recommendations,
         paper=spec.paper_dict(),
         forensics=forensics,
+        control=control if any(entry is not None for entry in control) else None,
     )

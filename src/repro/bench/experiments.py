@@ -584,6 +584,40 @@ def make_forensics(
     return make
 
 
+def make_control(
+    base: str,
+    scenario: str,
+    policy: str = "off",
+    retry_attempts: int = 2,
+    seed: int = 7,
+    total_transactions: int | None = None,
+) -> MakeBundle:
+    """Bundle factory for the ``slo_guardian`` controller-on/off sweep.
+
+    A synthetic ``base`` experiment run under a named ``scenario`` with a
+    client retry policy, with or without the live SLO-guardian controller
+    (:mod:`repro.control`).  ``policy`` is ``"off"`` — no controller, the
+    comparison baseline — or a registered control policy name
+    (:data:`repro.control.spec.POLICIES`).  The ``off`` cells are
+    bit-identical to the same run without the control package.
+    """
+    from repro.control.spec import ControlSpec
+    from repro.fabric.retry import RetryPolicy
+    from repro.scenario.library import get_scenario
+
+    inner = make_synthetic(base, seed=seed, total_transactions=total_transactions)
+
+    def make():
+        config, family, requests = inner()
+        if retry_attempts > 1:
+            config.retry = RetryPolicy(max_attempts=retry_attempts)
+        if policy != "off":
+            config.control = ControlSpec(policy=policy)
+        return config, family, requests, get_scenario(scenario)
+
+    return make
+
+
 def make_loan(
     send_rate: float, seed: int = 7, num_applications: int | None = None
 ) -> MakeBundle:

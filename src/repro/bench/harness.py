@@ -85,6 +85,11 @@ class ExperimentOutcome:
     #: :func:`repro.analysis.forensics.forensics_report`) per row, in row
     #: order; ``None`` on outcomes hydrated from pre-forensics caches.
     forensics: list[dict] | None = None
+    #: One control timeline (dict form, see
+    #: :meth:`repro.control.timeline.ControlTimeline.to_dict`) per row, in
+    #: row order (``None`` entries for controller-off runs); ``None`` when
+    #: no run of the experiment had a controller installed.
+    control: list[dict | None] | None = None
 
     def row(self, label: str) -> RunRow:
         for row in self.rows:
@@ -144,6 +149,13 @@ def default_recommendation(
     )
 
 
+def control_timeline_dict(network) -> dict | None:
+    """Dict-form control timeline of ``network``, ``None`` when no
+    controller is installed (controller-off runs)."""
+    controller = getattr(network, "controller", None)
+    return controller.timeline.to_dict() if controller is not None else None
+
+
 def execute_experiment(
     name: str,
     make: MakeBundle,
@@ -173,6 +185,7 @@ def execute_experiment(
 
     rows = [RunRow.from_result("without", baseline)]
     forensics = [forensics_report(network).to_dict()]
+    control: list[dict | None] = [control_timeline_dict(network)]
     recommended = report.recommended_kinds()
     for label, kinds in plans:
         recs: list[Recommendation] = []
@@ -194,6 +207,7 @@ def execute_experiment(
             RunRow.from_result(label, optimized, applied=applied.applied, forced=forced)
         )
         forensics.append(forensics_report(optimized_network).to_dict())
+        control.append(control_timeline_dict(optimized_network))
 
     return ExperimentOutcome(
         name=name,
@@ -202,6 +216,7 @@ def execute_experiment(
         paper=dict(paper or {}),
         report=report if keep_report else None,
         forensics=forensics,
+        control=control if any(entry is not None for entry in control) else None,
     )
 
 

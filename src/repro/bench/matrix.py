@@ -91,6 +91,10 @@ _MAKER_SHAPES: dict[str, _MakerShape] = {
     ),
     "usecase": _MakerShape(args=("usecase",)),
     "loan": _MakerShape(args=("send_rate",)),
+    "control": _MakerShape(
+        args=("base", "scenario", "policy", "retry"),
+        defaults=(("policy", "off"), ("retry", 2)),
+    ),
 }
 
 
@@ -348,6 +352,13 @@ def _cell_spec(
             values["base"],
             values["scenario"],
             values["mitigation"],
+            int(values["retry"]),
+        )
+    elif matrix.maker == "control":
+        maker_args = (
+            values["base"],
+            values["scenario"],
+            str(values["policy"]),
             int(values["retry"]),
         )
     elif matrix.maker == "usecase":

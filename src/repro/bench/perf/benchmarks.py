@@ -23,6 +23,10 @@ The registry covers the layers every experiment run exercises:
 ``streaming_overhead``    the same pipeline round trip in streaming mode —
                           request generator, RunStream fan-out and bounded
                           accumulators instead of a materialized ledger
+``controller_overhead``   the same round trip with a noop SLO-guardian
+                          ticking on the kernel's control lane — compare
+                          against ``pipeline_round_trip`` for the cost of
+                          the monitor + tick machinery (repro.control)
 ========================  =====================================================
 
 Two ``*_batch`` entries mirror ``kernel_event_churn`` and
@@ -95,6 +99,29 @@ def _pipeline_round_trip(tier: str = "reference") -> Trial:
         deployment = family.deploy()
         _, result = run_workload(config, deployment.contracts, requests)
         return result.summary_row()
+
+    return trial
+
+
+def _controller_overhead() -> Trial:
+    from repro.bench.experiments import make_synthetic
+
+    make = make_synthetic("default", seed=7, total_transactions=1500)
+
+    def trial() -> object:
+        from repro.control.spec import ControlSpec
+        from repro.fabric.network import run_workload
+
+        config, family, requests = make()
+        config.control = ControlSpec(policy="noop")
+        deployment = family.deploy()
+        network, result = run_workload(config, deployment.contracts, requests)
+        payload = result.summary_row()
+        # A noop controller must not perturb the run: the summary row is
+        # identical to pipeline_round_trip's, so the digests double as a
+        # controller-off equivalence check; the tick count pins cadence.
+        payload["control_ticks"] = network.controller.timeline.ticks
+        return payload
 
     return trial
 
@@ -284,6 +311,11 @@ _REGISTRY: tuple[Microbenchmark, ...] = (
         name="streaming_overhead",
         description="the 1.5k-tx pipeline round trip through the streaming path",
         make=_streaming_overhead,
+    ),
+    Microbenchmark(
+        name="controller_overhead",
+        description="the 1.5k-tx round trip with a noop SLO-guardian ticking",
+        make=_controller_overhead,
     ),
     Microbenchmark(
         name="kernel_event_churn_batch",

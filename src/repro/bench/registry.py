@@ -95,6 +95,16 @@ class ExperimentSpec:
                 seed=self.seed,
                 total_transactions=self.total_transactions,
             )
+        if self.maker == "control":
+            base, scenario, policy, retry_attempts = self.maker_args
+            return defs.make_control(
+                base,
+                scenario,
+                policy=policy,
+                retry_attempts=retry_attempts,
+                seed=self.seed,
+                total_transactions=self.total_transactions,
+            )
         if self.maker == "loan":
             (send_rate,) = self.maker_args
             applications = (
@@ -322,6 +332,37 @@ def _forensics_group() -> tuple[ExperimentSpec, ...]:
     )
 
 
+def _control_group() -> tuple[ExperimentSpec, ...]:
+    """The controller-on/off sweep behind ``slo_guardian``.
+
+    Every scenario in the library — the promoted fuzzed worst cases
+    included — crossed with the SLO-guardian controller off and on, under
+    a 2-attempt client retry policy (the controller's retry-tightening
+    actuator needs headroom to act).  The ``off`` cells are bit-identical
+    to the same runs without the control package; the headline comparison
+    (per-scenario abort rate, latency, throughput with the guardian
+    active) is pinned in ``tests/golden/slo_guardian__comparison.json``.
+    """
+    from repro.scenario.library import scenario_names
+
+    cells = [
+        (f"{scenario}__{policy}", scenario, policy)
+        for scenario in scenario_names()
+        for policy in ("off", "guardian")
+    ]
+    return tuple(
+        ExperimentSpec(
+            exp_id=f"slo_guardian/{variant}",
+            group="slo_guardian",
+            variant=variant,
+            title=f"SLO guardian / {scenario} ({policy})",
+            maker="control",
+            maker_args=("default", scenario, policy, 2),
+        )
+        for variant, scenario, policy in cells
+    )
+
+
 def _build_registry() -> dict[str, tuple[ExperimentSpec, ...]]:
     restructuring = [_plan("endorser restructuring", (K.ENDORSER_RESTRUCTURING,))]
     rate_control = [_plan("transaction rate control", (K.TRANSACTION_RATE_CONTROL,))]
@@ -437,6 +478,9 @@ def _build_registry() -> dict[str, tuple[ExperimentSpec, ...]]:
         # Beyond the paper: the mitigation × scenario forensics sweep
         # (repro.analysis) — "which mitigation recovers which abort cause?".
         "failure_forensics": _forensics_group(),
+        # Beyond the paper: the SLO-guardian controller sweep
+        # (repro.control) — "what does closing the loop at run time buy?".
+        "slo_guardian": _control_group(),
         # Beyond the paper: streamed multi-channel runs at scale
         # (repro.shard) — on-demand, so a plain `repro suite` never
         # launches the 1M-transaction run by accident.

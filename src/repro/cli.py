@@ -402,6 +402,101 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import make_synthetic
+    from repro.control import ControlSpec, SLOTargets, render_control_timeline
+    from repro.fabric.network import run_workload
+    from repro.fabric.retry import RetryPolicy
+    from repro.scenario import get_scenario, run_digest, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:<20} {spec.description}")
+        return 0
+    if args.txs < 1:
+        print(f"error: --txs must be >= 1, got {args.txs}", file=sys.stderr)
+        return 2
+    if args.retry < 1:
+        print(f"error: --retry must be >= 1, got {args.retry}", file=sys.stderr)
+        return 2
+
+    slo_kwargs: dict[str, float] = {}
+    for item in args.slo or ():
+        key, sep, raw = item.partition("=")
+        if not sep:
+            print(f"error: --slo needs key=value, got {item!r}", file=sys.stderr)
+            return 2
+        try:
+            slo_kwargs[key] = float(raw)
+        except ValueError:
+            print(f"error: --slo {key} needs a number, got {raw!r}", file=sys.stderr)
+            return 2
+    try:
+        slo = SLOTargets(**slo_kwargs)
+        control = ControlSpec(policy=args.policy, interval=args.interval, slo=slo)
+        scenario = get_scenario(args.scenario)
+    except TypeError:
+        valid = ", ".join(sorted(SLOTargets.__dataclass_fields__))
+        print(f"error: unknown --slo key; valid: {valid}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    make = make_synthetic(args.base, seed=args.seed, total_transactions=args.txs)
+
+    def control_run(spec):
+        config, family, requests = make()
+        if args.retry > 1:
+            config.retry = RetryPolicy(max_attempts=args.retry)
+        config.control = spec
+        return run_workload(config, family.deploy().contracts, requests, scenario)
+
+    print(f"scenario: {scenario.name}")
+    if scenario.description:
+        print(scenario.description)
+    print(
+        f"base workload: synthetic/{args.base}, {args.txs} txs, seed {args.seed}, "
+        f"retry {args.retry}"
+    )
+    print(f"control: policy {control.policy}, interval {control.interval}s, "
+          f"slo abort<={slo.max_abort_rate} p95<={slo.max_p95_latency}s")
+
+    _, off = control_run(None)
+    network, on = control_run(control)
+
+    print(f"\n{'run':<16}{'tput(tps)':>10}{'lat(s)':>8}{'success%':>10}")
+    for label, result in (("controller off", off), (f"{control.policy} on", on)):
+        row = result.summary_row()
+        print(
+            f"{label:<16}{row['success_throughput_tps']:>10}"
+            f"{row['avg_latency_s']:>8}{row['success_rate_pct']:>10}"
+        )
+
+    print()
+    print(render_control_timeline(network.controller.timeline))
+    writes = [
+        entry for entry in network.conditions.journal if entry[0] == "control"
+    ]
+    if writes:
+        print(f"condition writes attributed to the controller: {len(writes)}")
+
+    if args.check_determinism:
+        network2, on2 = control_run(control)
+        identical = (
+            on2.summary_row() == on.summary_row()
+            and run_digest(network2) == run_digest(network)
+            and network2.controller.timeline.digest()
+            == network.controller.timeline.digest()
+        )
+        verdict = "identical" if identical else "DIVERGED"
+        print(f"determinism check (second run, same seed): {verdict}")
+        if not identical:
+            return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -968,6 +1063,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.set_defaults(func=_cmd_scenario)
 
+    control = sub.add_parser(
+        "control",
+        help="run the live SLO-guardian controller against a fault scenario",
+        description=(
+            "Run a synthetic workload under a fault scenario twice — "
+            "controller off, then with the kernel-scheduled SLO-guardian "
+            "controller on — and compare the headline numbers. Prints the "
+            "controller's decision timeline (windowed observables, rules "
+            "fired, bounded actuations) and its sha256 digest; runs are "
+            "deterministic per (seed, policy, scenario)."
+        ),
+    )
+    control.add_argument(
+        "--scenario",
+        default="crash_burst",
+        help="built-in scenario name to guard against (see --list)",
+    )
+    control.add_argument(
+        "--policy",
+        default="guardian",
+        choices=("guardian", "noop"),
+        help="control policy: guardian (rule-based SLO guardian) or noop "
+        "(observe and record, never actuate)",
+    )
+    control.add_argument(
+        "--slo",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override an SLO target, e.g. --slo max_abort_rate=0.05 "
+        "--slo max_p95_latency=3.0 (repeatable)",
+    )
+    control.add_argument(
+        "--interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="controller tick interval on the kernel control lane",
+    )
+    control.add_argument(
+        "--base",
+        default="default",
+        help="synthetic base experiment to run the scenario against",
+    )
+    control.add_argument("--txs", type=int, default=2000)
+    control.add_argument("--seed", type=int, default=7)
+    control.add_argument(
+        "--retry",
+        type=int,
+        default=2,
+        metavar="ATTEMPTS",
+        help="max client attempts per transaction in both runs "
+        "(>1 gives the controller's retry-tightening actuator headroom)",
+    )
+    control.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="replay the controller-on run and verify run + timeline digests match",
+    )
+    control.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    control.set_defaults(func=_cmd_control)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="fuzz random scenario compositions against differential oracles",
@@ -975,7 +1133,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Generate seeded random scenario compositions (faults, rate "
             "curves, hot-key drift, region lag, mix shifts), check each "
             "against differential oracles (determinism, stream≡batch "
-            "equivalence, tx conservation, JSON round-trip), shrink any "
+            "equivalence, tx conservation, JSON round-trip, batch-kernel "
+            "equivalence, control equivalence), shrink any "
             "failure to a minimal reproducer, and rank oracle-clean "
             "survivors by abort/retry severity. The same seed and budget "
             "reproduce the campaign bit for bit. Exits 1 when an oracle "
@@ -1019,7 +1178,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="restrict to one oracle (repeatable; default all: "
-        "determinism, stream_batch, conservation, roundtrip)",
+        "determinism, stream_batch, conservation, roundtrip, "
+        "batch_equivalence, control_equivalence)",
     )
     fuzz.add_argument(
         "--no-shrink",

@@ -1,0 +1,87 @@
+"""Bounded-actuation validation shared by every configuration writer.
+
+Any component that changes a live or planned network parameter — the
+SLO-guardian controller (:mod:`repro.control.controller`), the offline
+recommendation applier (:mod:`repro.core.apply`) — routes the new value
+through :func:`clamp_actuation` / :func:`validate_actuation` so a single
+table defines what "in range" means.  The bounds are deliberately wide:
+they exist to stop a runaway rule (or an out-of-range recommendation)
+from writing a value that violates :class:`~repro.fabric.config
+.NetworkConfig` invariants, not to second-guess ordinary tuning.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.config import MITIGATIONS
+
+
+class ActuationError(ValueError):
+    """An actuation target or value outside the bounded envelope."""
+
+
+#: Numeric actuator envelope: ``name -> (low, high, integer?)``.
+BOUNDS: dict[str, tuple[float, float, bool]] = {
+    "block_count": (1, 10_000, True),
+    "block_timeout": (0.05, 30.0, False),
+    "send_rate_cap": (10.0, 100_000.0, False),
+    "retry_max_attempts": (1, 10, True),
+}
+
+#: Non-numeric actuators and their allowed values.
+CHOICES: dict[str, tuple[str, ...]] = {
+    "mitigation": MITIGATIONS,
+}
+
+
+def actuation_names() -> list[str]:
+    """Every known actuator name (numeric and choice), sorted."""
+    return sorted([*BOUNDS, *CHOICES])
+
+
+def clamp_actuation(name: str, value: float | int) -> tuple[float | int, bool]:
+    """Clamp a numeric actuation into its envelope.
+
+    Returns ``(clamped_value, was_clamped)``.  Integer actuators are
+    rounded before clamping, so callers can hand in computed floats
+    (e.g. ``throughput * timeout``).  Unknown names raise
+    :class:`ActuationError` — a typo must never become a silent no-op.
+    """
+    try:
+        low, high, integral = BOUNDS[name]
+    except KeyError:
+        raise ActuationError(
+            f"unknown numeric actuator {name!r}; known: {', '.join(sorted(BOUNDS))}"
+        ) from None
+    if integral:
+        value = int(round(value))
+    clamped = min(max(value, low), high)
+    if integral:
+        clamped = int(clamped)
+    return clamped, clamped != value
+
+
+def validate_actuation(name: str, value: object) -> None:
+    """Raise :class:`ActuationError` unless ``value`` is inside the envelope.
+
+    Numeric actuators must already be in range (use
+    :func:`clamp_actuation` first when a rule computes values); choice
+    actuators must be a known member.
+    """
+    if name in BOUNDS:
+        low, high, _ = BOUNDS[name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ActuationError(f"{name} must be numeric, got {value!r}")
+        if not low <= value <= high:
+            raise ActuationError(
+                f"{name}={value!r} outside bounded envelope [{low}, {high}]"
+            )
+        return
+    if name in CHOICES:
+        if value not in CHOICES[name]:
+            raise ActuationError(
+                f"{name}={value!r} not one of {', '.join(CHOICES[name])}"
+            )
+        return
+    raise ActuationError(
+        f"unknown actuator {name!r}; known: {', '.join(actuation_names())}"
+    )

@@ -97,7 +97,14 @@ def apply_recommendations(
             swap_done = True
             applied.append(kind)
         elif kind is OptimizationKind.BLOCK_SIZE_ADAPTATION:
-            new_config.block_count = int(rec.actions["block_count"])
+            # Through the shared bounded-actuation envelope: a runaway
+            # rule (or hand-written recommendation) clamps instead of
+            # writing a value that violates NetworkConfig invariants.
+            from repro.control.bounds import clamp_actuation
+
+            new_config.block_count, _ = clamp_actuation(
+                "block_count", float(rec.actions["block_count"])
+            )
             applied.append(kind)
         elif kind is OptimizationKind.ENDORSER_RESTRUCTURING:
             new_config.endorsement_policy = str(rec.actions["policy"])
@@ -112,6 +119,10 @@ def apply_recommendations(
         else:  # pragma: no cover - future kinds
             skipped.append(kind)
 
+    # Re-validate every invariant in one step: mutations above bypass the
+    # dataclass constructor, so a bad combination must fail here, not
+    # deep inside a simulation run.
+    new_config.__post_init__()
     if deployment.routing:
         new_requests = _reroute(new_requests, deployment)
     return ApplyResult(

@@ -6,6 +6,15 @@ Every component that previously read the static
 (:mod:`repro.scenario`) can inflate the delay mid-run — a latency spike —
 and restore it later.  The delay in effect when a message is *scheduled*
 is the delay it experiences; messages already in flight are unaffected.
+
+**The actuation seam.**  Two writers mutate conditions mid-run: the
+scenario engine (fault injection) and the SLO-guardian controller
+(:mod:`repro.control`).  Both go through the same setters, which makes
+the composition rule explicit — *last writer wins*, in kernel event
+order, which is deterministic because interventions and controller ticks
+ride ordered priority lanes.  Every write is appended to :attr:`journal`
+with its ``source`` attribution, so both timelines can prove who set
+what, when, over what previous value.
 """
 
 from __future__ import annotations
@@ -16,34 +25,52 @@ from repro.fabric.config import TimingConfig
 class NetworkConditions:
     """Mutable wide-area conditions shared by all components of one network.
 
-    Two multiplicative layers compose: a network-wide multiplier (latency
-    spikes) and per-organization multipliers (``region_lag`` — one region
-    sits behind a congested WAN link while the rest of the network is
-    nominal).  A message attributed to an org experiences the product of
-    both; messages without an org attribution (block delivery) see only
-    the global layer.
+    Two multiplicative delay layers compose: a network-wide multiplier
+    (latency spikes) and per-organization multipliers (``region_lag`` —
+    one region sits behind a congested WAN link while the rest of the
+    network is nominal).  A message attributed to an org experiences the
+    product of both; messages without an org attribution (block delivery)
+    see only the global layer.
+
+    A third, independent surface is the **send-rate cap**: an admission
+    pacer over client submissions (the controller's rate throttle).  It
+    is ``None`` — completely inert — unless a writer sets it, so
+    controller-off runs are byte-identical to builds without it.
     """
 
     def __init__(self, timing: TimingConfig) -> None:
         self._timing = timing
         self._delay_multiplier = 1.0
         self._org_multipliers: dict[str, float] = {}
+        self._send_rate_cap: float | None = None
+        #: Every mutation in kernel order: ``(source, field, old, new)``.
+        self.journal: list[tuple[str, str, object, object]] = []
 
     @property
     def delay_multiplier(self) -> float:
         """Current network-delay inflation factor (1.0 = nominal)."""
         return self._delay_multiplier
 
-    def set_delay_multiplier(self, factor: float) -> None:
+    @property
+    def send_rate_cap(self) -> float | None:
+        """Current admission cap in transactions/second (None = uncapped)."""
+        return self._send_rate_cap
+
+    def set_delay_multiplier(self, factor: float, source: str = "scenario") -> None:
         """Inflate (or restore) the one-way delay of subsequent messages."""
         if factor <= 0:
             raise ValueError(f"delay multiplier must be positive, got {factor!r}")
+        self.journal.append((source, "delay_multiplier", self._delay_multiplier, factor))
         self._delay_multiplier = factor
 
-    def set_org_delay_multiplier(self, org: str, factor: float) -> None:
+    def set_org_delay_multiplier(
+        self, org: str, factor: float, source: str = "scenario"
+    ) -> None:
         """Inflate (or restore, at 1.0) one organization's one-way delays."""
         if factor <= 0:
             raise ValueError(f"delay multiplier must be positive, got {factor!r}")
+        old = self._org_multipliers.get(org, 1.0)
+        self.journal.append((source, f"org_delay_multiplier[{org}]", old, factor))
         if factor == 1.0:
             self._org_multipliers.pop(org, None)
         else:
@@ -52,6 +79,18 @@ class NetworkConditions:
     def org_delay_multiplier(self, org: str) -> float:
         """The org's current region multiplier (1.0 = nominal)."""
         return self._org_multipliers.get(org, 1.0)
+
+    def set_send_rate_cap(self, cap: float | None, source: str = "control") -> None:
+        """Cap (or, with ``None``, uncap) the client submission admission rate.
+
+        The value is advisory: :class:`~repro.fabric.network.FabricNetwork`
+        reads it at each admission decision, pacing queued submissions
+        ``1 / cap`` apart and flushing the queue when the cap clears.
+        """
+        if cap is not None and cap <= 0:
+            raise ValueError(f"send rate cap must be positive, got {cap!r}")
+        self.journal.append((source, "send_rate_cap", self._send_rate_cap, cap))
+        self._send_rate_cap = cap
 
     def network_delay(self, org: str | None = None) -> float:
         """One-way delay a message sent *right now* experiences.

@@ -123,8 +123,21 @@ class NetworkConfig:
     #: Both tiers are bit-identical; ``batch`` trades per-event heap
     #: maintenance for one array sort (see :mod:`repro.sim.batch`).
     kernel_tier: str | None = None
+    #: SLO-guardian controller configuration
+    #: (:class:`repro.control.spec.ControlSpec`); ``None`` — the default —
+    #: keeps the run controller-free and byte-identical to builds without
+    #: the control package.
+    control: "object | None" = None
 
     def __post_init__(self) -> None:
+        if self.control is not None:
+            # Imported lazily: repro.control.bounds imports this module.
+            from repro.control.spec import ControlSpec
+
+            if not isinstance(self.control, ControlSpec):
+                raise ValueError(
+                    f"control must be a ControlSpec or None, got {self.control!r}"
+                )
         if self.kernel_tier is not None and self.kernel_tier not in KERNEL_TIERS:
             raise ValueError(
                 f"unknown kernel_tier {self.kernel_tier!r}; "
@@ -187,6 +200,7 @@ class NetworkConfig:
             retry=self.retry,
             mitigation=self.mitigation,
             kernel_tier=self.kernel_tier,
+            control=self.control,
         )
 
 

@@ -19,6 +19,7 @@ later *extract the configuration from the ledger*, as the paper does.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -166,6 +167,12 @@ class FabricNetwork:
         self.retries_issued = 0
         self.retries_recovered = 0
         self.retries_exhausted = 0
+        # Admission-pacing state (the controller's rate throttle): a FIFO
+        # of deferred requests, the next free admission slot, and whether
+        # a drain event is already on the kernel.
+        self._pace_queue: deque[TxRequest] = deque()
+        self._pace_slot = 0.0
+        self._pace_draining = False
         self._append_genesis()
 
         self.scenario_engine = None
@@ -174,6 +181,53 @@ class FabricNetwork:
 
             self.scenario_engine = ScenarioEngine(scenario)
             self.scenario_engine.install(self)
+
+        #: The SLO-guardian controller (:mod:`repro.control`), installed
+        #: only when the config carries a ControlSpec — ``None`` keeps
+        #: this network byte-identical to a controller-less build.
+        self.controller = None
+        if config.control is not None:
+            from repro.control.controller import SLOGuardian
+
+            self.controller = SLOGuardian(self, config.control)
+            self.controller.install()
+
+    # -- live actuation seams ---------------------------------------------------
+
+    @property
+    def mitigation(self) -> str:
+        """The mitigation currently in effect (live, controller-adjustable)."""
+        return self._mitigation
+
+    @property
+    def retry_policy(self):
+        """The retry policy currently in effect (``None`` = no retries)."""
+        return self._retry
+
+    def set_mitigation(self, mitigation: str) -> None:
+        """Switch the live mitigation strategy mid-run.
+
+        Affects transactions from this kernel instant on: ``early_abort``
+        gates the *next* packaging checks, and the reorder scheduler swap
+        applies to the *next* block cut.  The shared config is untouched —
+        it may be reused by offline re-runs.
+        """
+        from repro.fabric.config import MITIGATIONS
+
+        if mitigation not in MITIGATIONS:
+            raise ValueError(
+                f"unknown mitigation {mitigation!r}; known: {', '.join(MITIGATIONS)}"
+            )
+        self._mitigation = mitigation
+        scheduler_name = (
+            "conflict_aware" if mitigation == "reorder" else self.config.scheduler
+        )
+        self._scheduler = make_scheduler(scheduler_name, self.config.scheduler_window)
+        self.orderer.set_scheduler(self._scheduler)
+
+    def set_retry_policy(self, policy) -> None:
+        """Replace the live client retry policy (``None`` disables retries)."""
+        self._retry = policy
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -217,6 +271,43 @@ class FabricNetwork:
         self.kernel.schedule(request.submit_time, lambda: self._start_request(request))
 
     def _start_request(self, request: TxRequest) -> None:
+        # Admission pacing (the controller's rate throttle).  Uncapped
+        # with an empty queue — the default — this is a straight
+        # passthrough, so controller-off runs are byte-identical.  Under
+        # a cap, requests join a FIFO queue drained one per ``1 / cap``
+        # seconds; the cap is re-read at every drain, so relaxing it
+        # speeds the drain up and clearing it flushes the whole backlog
+        # at the next slot instead of leaving work booked far out.
+        if self.conditions.send_rate_cap is None and not self._pace_queue:
+            self._start_request_now(request)
+            return
+        self._pace_queue.append(request)
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        """Arm one drain event at the next admission slot (idempotent)."""
+        if self._pace_draining or not self._pace_queue:
+            return
+        self._pace_draining = True
+        now = self.kernel.now
+        when = self._pace_slot if self._pace_slot > now else now
+        self.kernel.schedule(when, self._drain_paced)
+
+    def _drain_paced(self) -> None:
+        """Admit the oldest deferred request and book the next slot."""
+        self._pace_draining = False
+        if not self._pace_queue:
+            return
+        request = self._pace_queue.popleft()
+        cap = self.conditions.send_rate_cap
+        if cap is not None:
+            self._pace_slot = self.kernel.now + 1.0 / cap
+        else:
+            self._pace_slot = self.kernel.now
+        self._start_request_now(request)
+        self._schedule_drain()
+
+    def _start_request_now(self, request: TxRequest) -> None:
         client = self.clients.assign(request.invoker_org)
         tx = Transaction(
             tx_id=self._next_tx_id(),
@@ -309,12 +400,17 @@ class FabricNetwork:
             self.stream.accept_abort(tx)
         else:
             self.aborted.append(tx)
+            if self.controller is not None:
+                self.controller.monitor.consume(tx)
 
     def _after_block(self, block: Block) -> None:
         """Post-commit hook: account retry outcomes, resubmit failures."""
+        feed = self.controller is not None and self.stream is None
         for tx in block.transactions:
             if tx.is_config:
                 continue
+            if feed:
+                self.controller.monitor.consume(tx)
             if tx.status is TxStatus.SUCCESS:
                 if tx.attempt > 1:
                     self.retries_recovered += 1

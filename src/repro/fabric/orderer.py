@@ -46,6 +46,12 @@ class OrderingService:
         self._buffer: list[Transaction] = []
         self._buffer_bytes = 0
         self._timeout_event: Event | None = None
+        #: Live cutting parameters.  They start at the configured values
+        #: and are the SLO-guardian controller's actuation surface — the
+        #: controller re-sizes blocks mid-run *here*, never by mutating
+        #: the shared (and possibly reused) :class:`NetworkConfig`.
+        self.block_count = config.block_count
+        self.block_timeout = config.block_timeout
         self.blocks_cut = 0
         self.cut_reasons: dict[str, int] = {"count": 0, "timeout": 0, "bytes": 0}
 
@@ -61,7 +67,7 @@ class OrderingService:
         self._buffer_bytes += tx.estimated_bytes()
         if len(self._buffer) == 1:
             self._arm_timeout()
-        if len(self._buffer) >= self._config.block_count:
+        if len(self._buffer) >= self.block_count:
             self._cut("count")
         elif self._buffer_bytes >= self._config.block_bytes:
             self._cut("bytes")
@@ -70,9 +76,17 @@ class OrderingService:
         """Envelopes currently buffered toward the next block."""
         return len(self._buffer)
 
+    def set_scheduler(self, scheduler: Scheduler) -> None:
+        """Swap the batch scheduler (mitigation toggle seam).
+
+        The scheduler is consulted only at cut time, so swapping between
+        cuts affects exactly the blocks cut afterwards.
+        """
+        self._scheduler = scheduler
+
     def _arm_timeout(self) -> None:
         self._timeout_event = self._kernel.schedule_in(
-            self._config.block_timeout, self._on_timeout
+            self.block_timeout, self._on_timeout
         )
 
     def _on_timeout(self) -> None:

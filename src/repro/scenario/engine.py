@@ -88,7 +88,7 @@ class ScenarioEngine:
             conditions = network.conditions
 
             def set_delay(factor: float, kind: str) -> None:
-                conditions.set_delay_multiplier(factor)
+                conditions.set_delay_multiplier(factor, source="scenario")
                 log(kind, f"x{factor:g}")
 
             return (
@@ -118,7 +118,7 @@ class ScenarioEngine:
                 )
 
             def set_region(factor: float, kind: str) -> None:
-                conditions.set_org_delay_multiplier(org, factor)
+                conditions.set_org_delay_multiplier(org, factor, source="scenario")
                 log(kind, f"{org} x{factor:g}")
 
             return (

@@ -79,6 +79,7 @@ ORACLES = (
     "conservation",
     "roundtrip",
     "batch_equivalence",
+    "control_equivalence",
 )
 
 #: One-line taxonomy explanations used to auto-label *why* a surviving
@@ -282,7 +283,7 @@ class FuzzHarness:
 
     The bundle (config, contract family, requests) is built once per
     campaign; every execution gets a fresh network, so runs never share
-    mutable state.  All four oracles run through this object.
+    mutable state.  Every oracle in :data:`ORACLES` runs through this object.
     """
 
     def __init__(self, config: FuzzConfig) -> None:
@@ -484,6 +485,50 @@ class FuzzHarness:
             violations.append("batch-tier forensics digest diverged from primary")
         return violations
 
+    def check_control_equivalence(self, spec: ScenarioSpec) -> list[str]:
+        """The SLO-guardian controller must preserve the differential invariants.
+
+        Three sub-checks against the composition: a noop-policy controller
+        reproduces the primary (controller-off) run digest bit for bit —
+        controller *presence* never changes outcomes; a guardian-on run
+        is deterministic across replays (run digest and control-timeline
+        digest both stable); and the batch kernel tier reproduces the
+        guardian-on reference run.  Like ``batch_equivalence``, under
+        ``REPRO_KERNEL=batch`` the last sub-check degrades to a
+        batch-tier determinism check.
+        """
+        from repro.control.spec import ControlSpec
+
+        def controlled(
+            policy: str, kernel_tier: str | None = None
+        ) -> tuple[str, str]:
+            config = self.network_config.copy()
+            config.control = ControlSpec(policy=policy)
+            if kernel_tier is not None:
+                config.kernel_tier = kernel_tier
+            network = FabricNetwork(config, self._contracts(), scenario=spec)
+            network.run(list(self.requests))
+            return run_digest(network), network.controller.timeline.digest()
+
+        violations = []
+        primary = self.primary(spec)
+        noop_digest, _ = controlled("noop")
+        if noop_digest != primary.digest:
+            violations.append(
+                "noop-policy controller perturbed the run digest: "
+                f"{noop_digest[:12]} != {primary.digest[:12]}"
+            )
+        first = controlled("guardian")
+        second = controlled("guardian")
+        if first != second:
+            violations.append("guardian-on runs diverged across identical replays")
+        batch = controlled("guardian", kernel_tier="batch")
+        if batch != first:
+            violations.append(
+                "guardian-on batch tier diverged from the reference tier"
+            )
+        return violations
+
     def run_oracles(self, spec: ScenarioSpec) -> dict[str, list[str]]:
         """Run the configured oracle subset; name -> violations."""
         checks: dict[str, Callable[[ScenarioSpec], list[str]]] = {
@@ -492,6 +537,7 @@ class FuzzHarness:
             "conservation": self.check_conservation,
             "roundtrip": self.check_roundtrip,
             "batch_equivalence": self.check_batch_equivalence,
+            "control_equivalence": self.check_control_equivalence,
         }
         return {
             oracle: checks[oracle](spec)

@@ -41,8 +41,17 @@ from typing import Callable
 KERNEL_TIERS = ("reference", "batch")
 
 #: Priority lane for scenario interventions: strictly before the default
-#: lane (0) at equal timestamps.
-INTERVENTION_PRIORITY = -2
+#: lane (0) at equal timestamps.  Lanes are integers because the batch
+#: tier sorts priorities through an ``int64`` array — a fractional lane
+#: would be silently truncated there and the tiers would diverge.
+INTERVENTION_PRIORITY = -3
+
+#: Priority lane for the SLO-guardian controller (:mod:`repro.control`):
+#: after interventions, before arrivals.  A controller tick at ``t``
+#: observes a fault injected at ``t`` (the intervention already fired)
+#: and its actuations are already in effect for every workload event at
+#: ``t`` — regardless of insertion order.
+CONTROL_PRIORITY = -2
 
 #: Priority lane for pump-chained workload arrivals in streamed runs.
 #: Batch runs pre-schedule every arrival before the kernel starts, so at
@@ -52,7 +61,7 @@ INTERVENTION_PRIORITY = -2
 #: sequence number), so without this lane the same tie resolves the other
 #: way and the two modes diverge — a seam the scenario fuzzer's
 #: stream≡batch oracle caught.  Arrivals on this lane still yield to
-#: interventions at the same instant.
+#: interventions and controller ticks at the same instant.
 ARRIVAL_PRIORITY = -1
 
 
@@ -171,6 +180,16 @@ class Kernel:
         which was scheduled first.
         """
         return self.schedule(time, action, priority=INTERVENTION_PRIORITY)
+
+    def schedule_control(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule a controller tick at absolute time ``time``.
+
+        Controller ticks run on their own lane between interventions and
+        arrivals: a tick at ``t`` already sees any fault injected at ``t``,
+        and its actuations are already in effect for every workload event
+        at ``t`` (see :mod:`repro.control`).
+        """
+        return self.schedule(time, action, priority=CONTROL_PRIORITY)
 
     def enable_trace(self) -> list[tuple[float, int, int]]:
         """Record ``(time, priority, seq)`` of every subsequently fired event.

@@ -1,0 +1,122 @@
+"""Golden-file regression test for the slo_guardian comparison.
+
+Pins, at a fixed 800-transaction budget, the headline numbers of every
+``slo_guardian`` registry pair (controller off vs. on), the number of
+decisions the guardian took, and the sha256 digest of its control
+timeline (``tests/golden/slo_guardian__comparison.json``).  The digest
+pin makes any drift in the controller's decision sequence — not just in
+the aggregate numbers — show up as a test failure.
+
+The acceptance bar rides the same file: the guardian must reduce the
+abort rate by at least three percentage points on at least three library
+scenarios.
+
+Regenerate deliberately after an intended behaviour change:
+
+    PYTHONPATH=src python tests/test_control_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "slo_guardian__comparison.json"
+
+#: Same budget as tests/test_golden_figures.py: big enough for the
+#: faults (and the guardian's windows) to bite, small enough for tier 1.
+GOLDEN_TXS = 800
+
+#: Pairs re-executed by the test itself; the remaining scenarios are
+#: pinned by the committed file and re-checked on regeneration only.
+VERIFIED_SCENARIOS = ("crash_burst", "partial_outage", "conflict_storm")
+
+#: The acceptance bar: at least this abort-rate reduction (percentage
+#: points of success rate) on at least this many scenarios.
+MIN_REDUCTION_PP = 3.0
+MIN_SCENARIOS = 3
+
+
+def _row_dict(row) -> dict:
+    return {
+        "throughput": row.throughput,
+        "latency": row.latency,
+        "success_pct": row.success_pct,
+    }
+
+
+def _compute(scenario: str) -> dict:
+    """One scenario's off/guardian comparison entry at GOLDEN_TXS."""
+    from repro.bench.executor import run_spec
+    from repro.bench.registry import get
+    from repro.control.timeline import ControlTimeline
+
+    entry: dict = {}
+    for policy in ("off", "guardian"):
+        spec = get(f"slo_guardian/{scenario}__{policy}").with_overrides(
+            total_transactions=GOLDEN_TXS
+        )
+        outcome = run_spec(spec)
+        entry[policy] = _row_dict(outcome.rows[0])
+    timeline = ControlTimeline.from_dict((outcome.control or [None])[0])
+    entry["decisions"] = len(timeline.decisions)
+    entry["timeline_digest"] = timeline.digest()
+    return entry
+
+
+def _load_golden() -> dict:
+    assert GOLDEN_PATH.is_file(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_control_golden.py --regenerate`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("scenario", VERIFIED_SCENARIOS)
+def test_guardian_comparison_matches_golden(scenario):
+    golden = _load_golden()
+    assert golden["total_transactions"] == GOLDEN_TXS
+    measured = _compute(scenario)
+    assert measured == golden["scenarios"][scenario], (
+        f"slo_guardian/{scenario}: the controller comparison drifted from "
+        f"tests/golden — if the change is intended, regenerate"
+    )
+
+
+def test_guardian_reduces_abort_rate_on_library_scenarios():
+    golden = _load_golden()
+    improved = [
+        name
+        for name, entry in golden["scenarios"].items()
+        if entry["guardian"]["success_pct"] - entry["off"]["success_pct"]
+        >= MIN_REDUCTION_PP
+    ]
+    assert len(improved) >= MIN_SCENARIOS, (
+        f"guardian improves success by >= {MIN_REDUCTION_PP}pp on only "
+        f"{improved}; the acceptance bar is {MIN_SCENARIOS} scenarios"
+    )
+
+
+def regenerate() -> None:
+    from repro.bench.registry import all_specs
+
+    scenarios: list[str] = []
+    for spec in all_specs():
+        if spec.group == "slo_guardian" and spec.variant.endswith("__off"):
+            scenarios.append(spec.variant.rsplit("__", 1)[0])
+    data = {
+        "total_transactions": GOLDEN_TXS,
+        "scenarios": {name: _compute(name) for name in scenarios},
+    }
+    GOLDEN_PATH.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
